@@ -1,0 +1,205 @@
+package profirt
+
+import (
+	"fmt"
+
+	"profirt/internal/ap"
+	"profirt/internal/core"
+	"profirt/internal/cpusim"
+	"profirt/internal/fdl"
+	"profirt/internal/holistic"
+	"profirt/internal/profibus"
+	"profirt/internal/sched"
+	"profirt/internal/timeunit"
+)
+
+// Ticks is the integer time base: one tick is one bit time at the
+// configured baud rate for the PROFIBUS APIs, or an arbitrary quantum
+// for the task-level APIs.
+type Ticks = timeunit.Ticks
+
+// MaxTicks marks divergent/unschedulable results.
+const MaxTicks = timeunit.MaxTicks
+
+// Task-level schedulability analysis (the paper's Section 2 survey).
+type (
+	// Task is a periodic/sporadic task with C, D, T, J, B attributes.
+	Task = sched.Task
+	// TaskSet is a priority-ordered task collection.
+	TaskSet = sched.TaskSet
+	// FPOptions tunes fixed-priority response-time analysis.
+	FPOptions = sched.FPOptions
+	// EDFOptions tunes the EDF response-time analyses.
+	EDFOptions = sched.EDFOptions
+	// FeasibilityReport carries demand-test outcomes.
+	FeasibilityReport = sched.FeasibilityReport
+)
+
+// Fixed-priority and EDF analysis entry points (Section 2).
+var (
+	// SortRM orders a task set rate-monotonically.
+	SortRM = sched.SortRM
+	// SortDM orders a task set deadline-monotonically.
+	SortDM = sched.SortDM
+	// LiuLaylandBound is n(2^{1/n}−1).
+	LiuLaylandBound = sched.LiuLaylandBound
+	// ResponseTimesFP is the (non-)preemptive fixed-priority RTA.
+	ResponseTimesFP = sched.ResponseTimesFP
+	// FPSchedulable checks R_i <= D_i under ResponseTimesFP.
+	FPSchedulable = sched.FPSchedulable
+	// EDFFeasiblePreemptive is the Eq. 3 processor-demand test.
+	EDFFeasiblePreemptive = sched.EDFFeasiblePreemptive
+	// EDFFeasibleNonPreemptiveZS is the Eq. 4 Zheng–Shin test.
+	EDFFeasibleNonPreemptiveZS = sched.EDFFeasibleNonPreemptiveZS
+	// EDFFeasibleNonPreemptiveGeorge is the Eq. 5 refined test.
+	EDFFeasibleNonPreemptiveGeorge = sched.EDFFeasibleNonPreemptiveGeorge
+	// ResponseTimesEDFPreemptive is Spuri's analysis (Eqs. 6–8).
+	ResponseTimesEDFPreemptive = sched.ResponseTimesEDFPreemptive
+	// ResponseTimesEDFNonPreemptive is George et al.'s (Eqs. 9–10).
+	ResponseTimesEDFNonPreemptive = sched.ResponseTimesEDFNonPreemptive
+)
+
+// PROFIBUS message scheduling (the paper's contribution, Sections 3–4).
+type (
+	// Stream is a high-priority message stream (C_hi, D, T, J).
+	Stream = core.Stream
+	// Master is one master station's traffic model.
+	Master = core.Master
+	// Network is the analysed PROFIBUS configuration.
+	Network = core.Network
+	// StreamVerdict pairs a stream with its bound and verdict.
+	StreamVerdict = core.StreamVerdict
+	// DMMessageOptions tunes the Eq. 16 analysis.
+	DMMessageOptions = core.DMOptions
+	// EDFMessageOptions tunes the Eqs. 17–18 analysis.
+	EDFMessageOptions = core.EDFOptions
+	// EndToEnd decomposes E = g + Q + C + d (Sec. 4.2).
+	EndToEnd = core.EndToEnd
+)
+
+// Message-level analysis entry points (Sections 3–4).
+var (
+	// FCFSResponseTime is Eq. 11: R = nh·T_cycle.
+	FCFSResponseTime = core.FCFSResponseTime
+	// FCFSSchedulable is the Eq. 12 network test.
+	FCFSSchedulable = core.FCFSSchedulable
+	// MaxTTR is the Eq. 15 rule for setting T_TR.
+	MaxTTR = core.MaxTTR
+	// DMResponseTimes is the Eq. 16 analysis (literal or revised).
+	DMResponseTimes = core.DMResponseTimes
+	// DMSchedulable applies Eq. 16 across a network.
+	DMSchedulable = core.DMSchedulable
+	// EDFMessageResponseTimes is the Eqs. 17–18 analysis.
+	EDFMessageResponseTimes = core.EDFResponseTimes
+	// EDFSchedulableNet applies Eqs. 17–18 across a network.
+	EDFSchedulableNet = core.EDFSchedulableNet
+	// ComposeEndToEnd builds the Sec. 4.2 decomposition.
+	ComposeEndToEnd = core.Compose
+)
+
+// PROFIBUS simulation substrate.
+type (
+	// BusParams carries DIN 19245 timing parameters.
+	BusParams = fdl.BusParams
+	// Frame is an FDL frame (SD1/SD2/SD3/token/short-ack).
+	Frame = fdl.Frame
+	// SimConfig configures a network simulation.
+	SimConfig = profibus.Config
+	// SimMasterConfig describes one simulated master.
+	SimMasterConfig = profibus.MasterConfig
+	// SimStreamConfig describes one simulated stream.
+	SimStreamConfig = profibus.StreamConfig
+	// SimSlaveConfig describes a responder.
+	SimSlaveConfig = profibus.SlaveConfig
+	// SimResult is a simulation outcome.
+	SimResult = profibus.Result
+	// QueuePolicy selects the AP dispatcher (FCFS/DM/EDF).
+	QueuePolicy = ap.Policy
+)
+
+// AP dispatching policies for SimMasterConfig.Dispatcher.
+const (
+	// FCFS reproduces the stock PROFIBUS outgoing queue.
+	FCFS = ap.FCFS
+	// DM enables the paper's architecture with a DM-ordered AP queue.
+	DM = ap.DM
+	// EDF enables the paper's architecture with an EDF-ordered queue.
+	EDF = ap.EDF
+)
+
+// Simulation entry points.
+var (
+	// DefaultBusParams is a representative 500 kbit/s parameter set.
+	DefaultBusParams = fdl.DefaultBusParams
+	// Simulate runs the PROFIBUS network simulator.
+	Simulate = profibus.Simulate
+)
+
+// Single-processor simulation substrate (validating Section 2).
+type (
+	// CPUPolicy selects the uniprocessor scheduling discipline.
+	CPUPolicy = cpusim.Policy
+	// CPUSimOptions configures a uniprocessor simulation.
+	CPUSimOptions = cpusim.Options
+	// CPUSimResult is its outcome.
+	CPUSimResult = cpusim.Result
+)
+
+// Uniprocessor disciplines.
+const (
+	// FPPreemptive is preemptive fixed-priority dispatching.
+	FPPreemptive = cpusim.FPPreemptive
+	// FPNonPreemptive is non-preemptive fixed-priority dispatching.
+	FPNonPreemptive = cpusim.FPNonPreemptive
+	// EDFPreemptive is preemptive EDF dispatching.
+	EDFPreemptive = cpusim.EDFPreemptive
+	// EDFNonPreemptive is non-preemptive EDF dispatching.
+	EDFNonPreemptive = cpusim.EDFNonPreemptive
+)
+
+// SimulateCPU runs the uniprocessor scheduling simulator.
+var SimulateCPU = cpusim.Run
+
+// Holistic end-to-end analysis (Sec. 4.1–4.2 composed with Sec. 2).
+type (
+	// HolisticConfig describes transactions (generation task, message
+	// stream, delivery cost, end-to-end deadline) per master.
+	HolisticConfig = holistic.Config
+	// HolisticMaster is one master's transactions and dispatcher.
+	HolisticMaster = holistic.MasterSpec
+	// HolisticTransaction is one sensor-to-actuator transaction.
+	HolisticTransaction = holistic.Transaction
+	// HolisticResult is the fixed-point outcome with per-transaction
+	// end-to-end breakdowns.
+	HolisticResult = holistic.Result
+)
+
+// AnalyzeHolistic solves the coupled task/message/delivery fixed point.
+var AnalyzeHolistic = holistic.Analyze
+
+// NetworkFromSimConfig derives the analytic model (Network) from a
+// simulator configuration, so one description drives both analysis and
+// simulation: worst-case message-cycle lengths C_hi are computed from
+// the configured frame payloads, station delays and retry budget, and
+// low-priority streams contribute the master's Cl term.
+func NetworkFromSimConfig(cfg SimConfig) Network {
+	net := Network{TTR: cfg.TTR, TokenPass: cfg.Bus.TokenPassTicks()}
+	if cfg.GapFactor > 0 {
+		net.GapPoll = cfg.Bus.WorstGapPollTicks()
+	}
+	for _, mc := range cfg.Masters {
+		m := Master{Name: fmt.Sprintf("M%d", mc.Addr)}
+		for _, sc := range mc.Streams {
+			ch := sc.WorstCycleTicks(mc.Addr, cfg.Bus)
+			if sc.High {
+				m.High = append(m.High, Stream{
+					Name: sc.Name, Ch: ch, D: sc.Deadline, T: sc.Period, J: sc.Jitter,
+				})
+			} else if ch > m.LongestLow {
+				m.LongestLow = ch
+			}
+		}
+		net.Masters = append(net.Masters, m)
+	}
+	return net
+}

@@ -1,0 +1,109 @@
+package profirt_test
+
+import (
+	"testing"
+
+	"profirt"
+)
+
+// demoConfig builds a small two-master network through the public API.
+func demoConfig() profirt.SimConfig {
+	return profirt.SimConfig{
+		Bus: profirt.DefaultBusParams(),
+		TTR: 2_000,
+		Masters: []profirt.SimMasterConfig{
+			{
+				Addr:       1,
+				Dispatcher: profirt.DM,
+				Streams: []profirt.SimStreamConfig{
+					{Name: "loop", Slave: 30, High: true, Period: 20_000, Deadline: 15_000, ReqBytes: 2, RespBytes: 4},
+					{Name: "bg", Slave: 30, High: false, Period: 100_000, Deadline: 100_000, ReqBytes: 8, RespBytes: 8},
+				},
+			},
+			{
+				Addr:       2,
+				Dispatcher: profirt.DM,
+				Streams: []profirt.SimStreamConfig{
+					{Name: "poll", Slave: 30, High: true, Period: 40_000, Deadline: 30_000, ReqBytes: 4, RespBytes: 4},
+				},
+			},
+		},
+		Slaves:  []profirt.SimSlaveConfig{{Addr: 30, TSDR: 30}},
+		Horizon: 400_000,
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := demoConfig()
+	net := profirt.NetworkFromSimConfig(cfg)
+	if len(net.Masters) != 2 {
+		t.Fatalf("masters = %d, want 2", len(net.Masters))
+	}
+	if net.Masters[0].NH() != 1 || net.Masters[0].LongestLow == 0 {
+		t.Error("master 1 model wrong")
+	}
+	if net.TokenPass == 0 {
+		t.Error("token-pass overhead missing")
+	}
+
+	okDM, verdicts := profirt.DMSchedulable(net, profirt.DMMessageOptions{})
+	if !okDM {
+		t.Fatalf("demo network should be DM-schedulable: %+v", verdicts)
+	}
+
+	res, err := profirt.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi := 0
+	for mi, m := range res.PerMaster {
+		for si, st := range m.PerStream {
+			if !cfg.Masters[mi].Streams[si].High {
+				continue
+			}
+			if st.WorstResponse > verdicts[vi].R {
+				t.Errorf("stream %s: simulated %v > bound %v",
+					verdicts[vi].Stream, st.WorstResponse, verdicts[vi].R)
+			}
+			vi++
+		}
+	}
+}
+
+func TestFacadeTaskAnalysis(t *testing.T) {
+	ts := profirt.TaskSet{
+		{Name: "a", C: 3, D: 7, T: 7},
+		{Name: "b", C: 3, D: 12, T: 12},
+		{Name: "c", C: 5, D: 20, T: 20},
+	}
+	ts = profirt.SortDM(ts)
+	ok, rs := profirt.FPSchedulable(ts, profirt.FPOptions{Preemptive: true})
+	if !ok || rs[2] != 20 {
+		t.Errorf("classic set: ok=%v rs=%v", ok, rs)
+	}
+	if !profirt.EDFFeasiblePreemptive(ts).Feasible {
+		t.Error("classic set must be EDF-feasible")
+	}
+	res, err := profirt.SimulateCPU(ts, profirt.CPUSimOptions{Policy: profirt.FPPreemptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerTask[2].WorstResponse != 20 {
+		t.Errorf("simulated worst = %v, want 20", res.PerTask[2].WorstResponse)
+	}
+	if profirt.LiuLaylandBound(1) != 1 {
+		t.Error("LL(1) must be 1")
+	}
+}
+
+func TestFacadeEndToEndComposition(t *testing.T) {
+	// R = 500 covers Q + C, so Q = 500 − 200 = 300 and
+	// E = g + Q + C + d = 100 + 300 + 200 + 50 = 650.
+	e := profirt.ComposeEndToEnd(100, 500, 200, 50)
+	if e.Total() != 650 {
+		t.Errorf("Total = %v, want 650", e.Total())
+	}
+	if e.Queuing != 300 {
+		t.Errorf("Queuing = %v, want 300", e.Queuing)
+	}
+}

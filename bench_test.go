@@ -1,0 +1,203 @@
+package profirt_test
+
+// The reproduction bench harness: one benchmark per experiment E1–E12
+// (DESIGN.md §4). Each BenchmarkE<n> regenerates its experiment's
+// table(s); run with -v to see them (logged once per benchmark). The
+// remaining benchmarks measure the cost of the analyses and substrates
+// themselves.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"profirt"
+	"profirt/internal/ap"
+	"profirt/internal/experiments"
+	"profirt/internal/fdl"
+	"profirt/internal/profibus"
+	"profirt/internal/sched"
+	"profirt/internal/workload"
+)
+
+// benchExperiment runs one experiment per iteration and logs its tables
+// once, so `go test -bench BenchmarkE7 -v` regenerates the E7 table.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := experiments.QuickConfig()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(cfg)
+		if i == 0 {
+			var sb strings.Builder
+			for _, t := range tables {
+				sb.WriteString("\n")
+				sb.WriteString(t.String())
+			}
+			b.Log(sb.String())
+		}
+	}
+}
+
+func BenchmarkE1FixedPriorityPreemptive(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2FixedPriorityNonPreemptive(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3EDFDemand(b *testing.B)                  { benchExperiment(b, "E3") }
+func BenchmarkE4NonPreemptiveEDFTests(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5EDFResponseTimes(b *testing.B)           { benchExperiment(b, "E5") }
+func BenchmarkE6TokenCycleBound(b *testing.B)            { benchExperiment(b, "E6") }
+func BenchmarkE7FCFSBound(b *testing.B)                  { benchExperiment(b, "E7") }
+func BenchmarkE8TTRSetting(b *testing.B)                 { benchExperiment(b, "E8") }
+func BenchmarkE9DMMessageRTA(b *testing.B)               { benchExperiment(b, "E9") }
+func BenchmarkE10EDFMessageRTA(b *testing.B)             { benchExperiment(b, "E10") }
+func BenchmarkE11PolicyComparison(b *testing.B)          { benchExperiment(b, "E11") }
+func BenchmarkE12JitterEndToEnd(b *testing.B)            { benchExperiment(b, "E12") }
+func BenchmarkE13Holistic(b *testing.B)                  { benchExperiment(b, "E13") }
+
+// --- substrate micro-benchmarks ---
+
+func benchTaskSet(n int) sched.TaskSet {
+	rng := rand.New(rand.NewSource(7))
+	return sched.SortDM(workload.TaskSet(rng, workload.DefaultTaskSetParams(n, 0.7)))
+}
+
+func BenchmarkRTAFixedPriorityPreemptive(b *testing.B) {
+	ts := benchTaskSet(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.ResponseTimesFP(ts, sched.FPOptions{Preemptive: true})
+	}
+}
+
+func BenchmarkRTAFixedPriorityNonPreemptive(b *testing.B) {
+	ts := benchTaskSet(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.ResponseTimesFP(ts, sched.FPOptions{})
+	}
+}
+
+func BenchmarkEDFDemandTest(b *testing.B) {
+	ts := benchTaskSet(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.EDFFeasiblePreemptive(ts)
+	}
+}
+
+func BenchmarkEDFResponseTimesPreemptive(b *testing.B) {
+	ts := benchTaskSet(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.ResponseTimesEDFPreemptive(ts, sched.EDFOptions{})
+	}
+}
+
+func BenchmarkEDFResponseTimesNonPreemptive(b *testing.B) {
+	ts := benchTaskSet(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.ResponseTimesEDFNonPreemptive(ts, sched.EDFOptions{})
+	}
+}
+
+func benchStreams(n int) []profirt.Stream {
+	rng := rand.New(rand.NewSource(3))
+	streams := make([]profirt.Stream, n)
+	for i := range streams {
+		T := profirt.Ticks(50_000 + rng.Intn(200_000))
+		streams[i] = profirt.Stream{
+			Name: "s", Ch: 400, D: T - profirt.Ticks(rng.Intn(10_000)), T: T,
+			J: profirt.Ticks(rng.Intn(2_000)),
+		}
+	}
+	return streams
+}
+
+func BenchmarkDMMessageRTA(b *testing.B) {
+	streams := benchStreams(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profirt.DMResponseTimes(streams, 2_500, profirt.DMMessageOptions{})
+	}
+}
+
+func BenchmarkEDFMessageRTA(b *testing.B) {
+	streams := benchStreams(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profirt.EDFMessageResponseTimes(streams, 2_500, profirt.EDFMessageOptions{})
+	}
+}
+
+func BenchmarkProfibusSimulator(b *testing.B) {
+	_, cfg := workload.DCCSCell(ap.DM, 1_000)
+	cfg.Horizon = 1_000_000
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := profibus.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range res.PerMaster {
+			cycles += m.HighCycles + m.LowCycles
+		}
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+}
+
+func BenchmarkCPUSimulator(b *testing.B) {
+	ts := benchTaskSet(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profirt.SimulateCPU(ts, profirt.CPUSimOptions{
+			Policy: profirt.EDFPreemptive, Horizon: 1 << 16,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameEncodeDecode(b *testing.B) {
+	f := fdl.Frame{Kind: fdl.KindSD2, DA: 9, SA: 1,
+		FC: fdl.ReqFC(fdl.FnSRDhigh, true, true), Data: make([]byte, 32)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := f.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := fdl.Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAPQueue(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	reqs := make([]ap.Request, 256)
+	for i := range reqs {
+		r := profirt.Ticks(rng.Intn(100_000))
+		reqs[i] = ap.Request{
+			Stream: i, Release: r, Ready: r,
+			RelDeadline: profirt.Ticks(1 + rng.Intn(50_000)),
+			AbsDeadline: r + profirt.Ticks(1+rng.Intn(50_000)),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ap.NewQueue(ap.EDF)
+		for _, r := range reqs {
+			q.Push(r)
+		}
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command experiments regenerates the reproduction tables recorded in
+// EXPERIMENTS.md: one experiment per paper equation/claim (see
+// DESIGN.md §4 for the index).
+//
+// Usage:
+//
+//	experiments [-id E7] [-quick] [-trials N] [-seed N] [-format plain|md|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"profirt/internal/experiments"
+	"profirt/internal/stats"
+)
+
+func main() {
+	id := flag.String("id", "", "run a single experiment (e.g. E7); default all")
+	quick := flag.Bool("quick", false, "reduced grids and trial counts")
+	trials := flag.Int("trials", 0, "override trials per grid cell")
+	seed := flag.Int64("seed", 1, "random seed (tables are reproducible per seed)")
+	format := flag.String("format", "md", "output format: plain, md or csv")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-28s %s\n", e.ID, e.Anchor, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+
+	var toRun []experiments.Experiment
+	if *id != "" {
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *id)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	} else {
+		toRun = experiments.All()
+	}
+
+	for _, e := range toRun {
+		fmt.Printf("## %s — %s (%s)\n\n", e.ID, e.Title, e.Anchor)
+		for _, t := range e.Run(cfg) {
+			if err := render(t, *format); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func render(t *stats.Table, format string) error {
+	switch format {
+	case "plain":
+		return t.WritePlain(os.Stdout)
+	case "md":
+		return t.WriteMarkdown(os.Stdout)
+	case "csv":
+		return t.WriteCSV(os.Stdout)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}

@@ -1,0 +1,26 @@
+// Package profirt is a Go reproduction of "From Task Scheduling in
+// Single Processor Environments to Message Scheduling in a PROFIBUS
+// Fieldbus Network" (Tovar & Vasques, IPPS/SPDP 1999 Workshops).
+//
+// It provides, as one coherent library:
+//
+//   - the single-processor schedulability analyses the paper surveys
+//     (rate/deadline-monotonic and EDF, preemptive and non-preemptive,
+//     utilisation tests, response-time analyses, processor-demand
+//     feasibility tests);
+//   - a bit-time-accurate discrete-event simulator of the PROFIBUS
+//     timed-token MAC (DIN 19245 framing, T_TR/T_RR/T_TH timers, high/
+//     low-priority queues, retries) together with the paper's proposed
+//     application-process priority-queue architecture;
+//   - the paper's message schedulability analyses: the token-cycle
+//     bound T_cycle = T_TR + T_del, the FCFS bound R = nh·T_cycle, the
+//     Eq. 15 rule for setting T_TR, and the DM/EDF message response-
+//     time analyses with release jitter;
+//   - workload generators and the experiment harness that validates
+//     every analysis against simulation (see EXPERIMENTS.md).
+//
+// This root package is a facade: it re-exports the library's primary
+// types and entry points so downstream users need a single import. The
+// implementation lives in internal packages (one per subsystem); the
+// runnable entry points live under cmd/ and examples/.
+package profirt

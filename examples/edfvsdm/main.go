@@ -1,0 +1,76 @@
+// EDF vs DM vs FCFS: sweep a deadline-tightening factor over one
+// master's stream set and watch where each analysis stops admitting the
+// set — the crossover structure behind the paper's conclusion that
+// priority-based AP dispatching supports tighter deadlines, with EDF
+// and DM trading places depending on the deadline pattern.
+//
+// Run with: go run ./examples/edfvsdm
+package main
+
+import (
+	"fmt"
+
+	"profirt"
+	"profirt/internal/timeunit"
+)
+
+func main() {
+	const tc = 2_500 // T_cycle of the surrounding network, in bit times
+
+	base := []profirt.Stream{
+		{Name: "fast", Ch: 300, D: 20_000, T: 40_000},
+		{Name: "mid", Ch: 350, D: 45_000, T: 90_000},
+		{Name: "slow", Ch: 400, D: 120_000, T: 240_000},
+		{Name: "bulk", Ch: 500, D: 200_000, T: 400_000},
+	}
+	nh := profirt.Ticks(len(base))
+
+	fmt.Printf("one master, %d high streams, T_cycle = %d\n", len(base), tc)
+	fmt.Printf("FCFS bound for every stream: nh*T_cycle = %d\n\n", nh*tc)
+
+	fmt.Printf("%-7s %-9s %-22s %-22s %-22s\n",
+		"scale", "tightest", "FCFS (Eq.11)", "DM (Eq.16 rev)", "EDF (Eq.17/18)")
+	for _, scale := range []float64{1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.2} {
+		streams := make([]profirt.Stream, len(base))
+		copy(streams, base)
+		for i := range streams {
+			streams[i].D = profirt.Ticks(scale * float64(streams[i].D))
+		}
+		dm := profirt.DMResponseTimes(streams, tc, profirt.DMMessageOptions{})
+		edf := profirt.EDFMessageResponseTimes(streams, tc, profirt.EDFMessageOptions{})
+
+		okFCFS, okDM, okEDF := true, true, true
+		for i := range streams {
+			if nh*tc > streams[i].D {
+				okFCFS = false
+			}
+			if dm[i] > streams[i].D {
+				okDM = false
+			}
+			if edf[i] > streams[i].D {
+				okEDF = false
+			}
+		}
+		fmt.Printf("%-7.1f %-9v %-22s %-22s %-22s\n",
+			scale, streams[0].D,
+			verdict(okFCFS, nh*tc),
+			verdict(okDM, dm[0]),
+			verdict(okEDF, edf[0]))
+	}
+
+	fmt.Println("\nReading: the cell shows each policy's verdict and the bound of the")
+	fmt.Println("tightest stream. FCFS charges every stream the full nh·T_cycle, so it")
+	fmt.Println("fails first; DM and EDF keep the tight stream at ~2·T_cycle (one")
+	fmt.Println("blocking visit + its own) and survive far deeper into the sweep.")
+}
+
+func verdict(ok bool, bound profirt.Ticks) string {
+	s := "fail"
+	if ok {
+		s = "ok"
+	}
+	if bound == timeunit.MaxTicks {
+		return fmt.Sprintf("%s (diverged)", s)
+	}
+	return fmt.Sprintf("%s (R_tight=%d)", s, bound)
+}

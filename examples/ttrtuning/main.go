@@ -1,0 +1,60 @@
+// TTR tuning: Eq. 15 gives the largest target token rotation time that
+// keeps all high-priority traffic schedulable under stock FCFS
+// PROFIBUS. This example computes the bound for the DCCS cell, sweeps
+// T_TR across it, and shows (a) the analysis flipping exactly at the
+// bound and (b) simulated deadline behaviour on both sides — the
+// analysis is sufficient, so misses can only appear above the bound.
+//
+// Run with: go run ./examples/ttrtuning
+package main
+
+import (
+	"fmt"
+
+	"profirt"
+	"profirt/internal/ap"
+	"profirt/internal/profibus"
+	"profirt/internal/workload"
+)
+
+func main() {
+	probe, _ := workload.DCCSCell(ap.FCFS, 1_000)
+	bound, err := profirt.MaxTTR(probe)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Eq. 15: largest schedulable TTR for the DCCS cell = %v bit times\n\n", bound)
+
+	fmt.Printf("%-10s %-18s %-12s %-14s\n", "TTR", "Eq.12 verdict", "sim misses", "worst TRR/bound")
+	for _, factor := range []float64{0.25, 0.5, 0.75, 1.0, 1.25, 2.0, 4.0} {
+		ttr := profirt.Ticks(float64(bound) * factor)
+		if ttr < 1 {
+			ttr = 1
+		}
+		net, cfg := workload.DCCSCell(ap.FCFS, ttr)
+		ok, _ := profirt.FCFSSchedulable(net)
+		res, err := profibus.Simulate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		var misses int64
+		for mi, m := range res.PerMaster {
+			for si, st := range m.PerStream {
+				if cfg.Masters[mi].Streams[si].High {
+					misses += st.Missed
+				}
+			}
+		}
+		verdict := "schedulable"
+		if !ok {
+			verdict = "NOT schedulable"
+		}
+		fmt.Printf("%-10v %-18s %-12d %v/%v\n",
+			ttr, verdict, misses, res.WorstTRR(), net.TokenCycle())
+	}
+
+	fmt.Println("\nNote: Eq. 15 is sufficient, not necessary — above the bound the")
+	fmt.Println("analysis rejects while the simulation may still meet all deadlines.")
+	fmt.Println("Larger TTR buys low-priority throughput at the cost of high-priority")
+	fmt.Println("worst-case latency (R = nh·(TTR + T_del)).")
+}

@@ -1,0 +1,131 @@
+// Package des is a minimal deterministic discrete-event simulation
+// engine: an event calendar ordered by (time, priority, insertion
+// sequence) and a run loop. The PROFIBUS network simulator is built on
+// it; keeping the engine generic also makes its scheduling semantics
+// independently testable.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+
+	"profirt/internal/timeunit"
+)
+
+// Ticks aliases the shared time base.
+type Ticks = timeunit.Ticks
+
+// Event is a scheduled callback.
+type Event struct {
+	at   Ticks
+	prio int
+	seq  int64
+	fn   func()
+	// cancelled events stay in the heap but are skipped on pop.
+	cancelled bool
+}
+
+// Cancel marks the event so it will not fire. Safe to call more than
+// once; has no effect if the event already fired.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// At returns the event's scheduled time.
+func (e *Event) At() Ticks { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Engine is the simulation core. The zero value is ready to use.
+type Engine struct {
+	now     Ticks
+	seq     int64
+	events  eventHeap
+	stopped bool
+	// Processed counts fired (non-cancelled) events.
+	Processed int64
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Ticks { return e.now }
+
+// Schedule enqueues fn to run at absolute time at with priority 0.
+// Events at the same instant fire in ascending priority then insertion
+// order. Scheduling in the past panics: it always indicates a modelling
+// bug.
+func (e *Engine) Schedule(at Ticks, fn func()) *Event {
+	return e.SchedulePrio(at, 0, fn)
+}
+
+// ScheduleAfter enqueues fn to run delay ticks from now.
+func (e *Engine) ScheduleAfter(delay Ticks, fn func()) *Event {
+	return e.SchedulePrio(e.now+delay, 0, fn)
+}
+
+// SchedulePrio enqueues fn at an absolute time with an explicit
+// same-instant priority (lower fires first).
+func (e *Engine) SchedulePrio(at Ticks, prio int, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past (%d < %d)", at, e.now))
+	}
+	ev := &Event{at: at, prio: prio, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events in order until the calendar is empty, the
+// horizon is passed, or Stop is called. Events scheduled exactly at the
+// horizon do not fire (the simulated interval is [0, horizon)). It
+// returns the simulation time at exit.
+func (e *Engine) Run(horizon Ticks) Ticks {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at >= horizon {
+			// Push back so a later Run with a larger horizon resumes.
+			heap.Push(&e.events, ev)
+			e.now = horizon
+			return e.now
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Pending returns the number of not-yet-fired (possibly cancelled)
+// events in the calendar.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,144 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(5, func() { order = append(order, 0) })
+	e.Schedule(10, func() { order = append(order, 2) }) // same time, later insertion
+	e.Run(100)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("order = %v, want [0 1 2]", order)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %v, want horizon 100", e.Now())
+	}
+	if e.Processed != 3 {
+		t.Errorf("Processed = %d, want 3", e.Processed)
+	}
+}
+
+func TestSameInstantPriority(t *testing.T) {
+	var e Engine
+	var order []string
+	e.SchedulePrio(7, 2, func() { order = append(order, "low") })
+	e.SchedulePrio(7, 1, func() { order = append(order, "high") })
+	e.Run(10)
+	if order[0] != "high" || order[1] != "low" {
+		t.Errorf("priority order wrong: %v", order)
+	}
+}
+
+func TestScheduleAfterAndNesting(t *testing.T) {
+	var e Engine
+	var fired []Ticks
+	e.Schedule(3, func() {
+		fired = append(fired, e.Now())
+		e.ScheduleAfter(4, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run(100)
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 7 {
+		t.Errorf("fired = %v, want [3 7]", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	ran := false
+	ev := e.Schedule(5, func() { ran = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Error("Cancelled() should report true")
+	}
+	e.Run(10)
+	if ran {
+		t.Error("cancelled event must not fire")
+	}
+	if e.Processed != 0 {
+		t.Errorf("Processed = %d, want 0", e.Processed)
+	}
+}
+
+func TestHorizonExcludesBoundary(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(10, func() { ran = true })
+	e.Run(10)
+	if ran {
+		t.Error("event at the horizon must not fire")
+	}
+	// Resuming with a larger horizon fires it.
+	e.Run(11)
+	if !ran {
+		t.Error("resumed run must fire the deferred event")
+	}
+}
+
+func TestStop(t *testing.T) {
+	var e Engine
+	count := 0
+	e.Schedule(1, func() { count++; e.Stop() })
+	e.Schedule(2, func() { count++ })
+	e.Run(10)
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (stopped)", count)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	// A further Run resumes.
+	e.Run(10)
+	if count != 2 {
+		t.Errorf("count after resume = %d, want 2", count)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling into the past")
+			}
+		}()
+		e.Schedule(3, func() {})
+	})
+	e.Run(10)
+}
+
+func TestEventAt(t *testing.T) {
+	var e Engine
+	ev := e.Schedule(42, func() {})
+	if ev.At() != 42 {
+		t.Errorf("At = %v, want 42", ev.At())
+	}
+}
+
+func TestManyEventsDeterministic(t *testing.T) {
+	run := func() []Ticks {
+		var e Engine
+		var log []Ticks
+		for i := 0; i < 500; i++ {
+			at := Ticks((i * 7919) % 1000)
+			e.Schedule(at, func() { log = append(log, e.Now()) })
+		}
+		e.Run(1000)
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("time went backwards at %d", i)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"profirt/internal/ap"
+	"profirt/internal/core"
+	"profirt/internal/profibus"
+	"profirt/internal/stats"
+	"profirt/internal/workload"
+)
+
+// E6TokenCycleBound validates Eqs. 13–14: the observed token rotation
+// never exceeds T_TR + T_del (with per-hop overheads), across ring
+// sizes, plus the Section 3.3 overrun-cascade scenario.
+func E6TokenCycleBound(cfg Config) []*stats.Table {
+	t := stats.NewTable("E6: token rotation vs T_cycle = T_TR + T_del (Eqs. 13–14)",
+		"masters", "TTR", "worst TRR (sim)", "T_cycle (Eq.14)", "refined", "ratio sim/Eq.14", "violations")
+	rng := rand.New(rand.NewSource(cfg.Seed + 6))
+	sizes := []int{2, 4, 6}
+	if cfg.Quick {
+		sizes = []int{2, 4}
+	}
+	for _, masters := range sizes {
+		var worst, bound, refined core.Ticks
+		violations := 0
+		p := workload.DefaultStreamSetParams()
+		p.Masters = masters
+		p.StreamsPerMaster = 2
+		p.LowPriorityLoad = true
+		p.TTR = 8_000
+		for trial := 0; trial < cfg.Trials; trial++ {
+			net, sim := workload.StreamSet(rng, p)
+			res, err := profibus.Simulate(sim)
+			if err != nil {
+				panic(err)
+			}
+			b := net.TokenCycle()
+			r := net.RefinedTokenCycle()
+			if res.WorstTRR() > worst {
+				worst = res.WorstTRR()
+			}
+			if b > bound {
+				bound = b
+			}
+			if r > refined {
+				refined = r
+			}
+			if res.WorstTRR() > b {
+				violations++
+			}
+		}
+		t.AddRow(masters, p.TTR, worst, bound, refined,
+			ratioCell(float64(worst), float64(bound)), violations)
+	}
+
+	// Section 3.3 scenario: an idle rotation, then master 1 overruns
+	// with its longest (low-priority) cycle and every follower uses the
+	// late token for one high-priority message.
+	t2 := stats.NewTable("E6b: Sec. 3.3 overrun cascade",
+		"quantity", "value (bit times)")
+	net, sim := workload.DCCSCell(ap.FCFS, 3_000)
+	res, err := profibus.Simulate(sim)
+	if err != nil {
+		panic(err)
+	}
+	t2.AddRow("TTR", net.TTR)
+	t2.AddRow("T_del (Eq. 13)", net.TokenDelay())
+	t2.AddRow("T_cycle (Eq. 14)", net.TokenCycle())
+	t2.AddRow("refined T_cycle", net.RefinedTokenCycle())
+	t2.AddRow("worst simulated TRR", res.WorstTRR())
+	var overruns, late int64
+	for _, m := range res.PerMaster {
+		overruns += m.TTHOverruns
+		late += m.LateTokens
+	}
+	t2.AddRow("TTH overruns observed", overruns)
+	t2.AddRow("late tokens observed", late)
+	return []*stats.Table{t, t2}
+}
+
+// E7FCFSBound validates Eq. 11 (R = nh·T_cycle) against simulation on
+// schedulable networks across a masters × streams grid.
+func E7FCFSBound(cfg Config) []*stats.Table {
+	t := stats.NewTable("E7: FCFS bound R = nh·T_cycle (Eq. 11) vs simulation",
+		"masters", "streams/master", "schedulable", "max sim/bound", "violations", "misses")
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	grid := []struct{ m, s int }{{2, 2}, {2, 4}, {4, 2}, {4, 4}}
+	if cfg.Quick {
+		grid = grid[:2]
+	}
+	for _, g := range grid {
+		p := workload.DefaultStreamSetParams()
+		p.Masters, p.StreamsPerMaster = g.m, g.s
+		p.TTR = 4_000
+		p.PeriodMin, p.PeriodMax = 60_000, 200_000
+		p.DeadlineRatioMin = 0.8
+		schedulable, violations, misses := 0, 0, 0
+		maxRatio := 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			net, sim := workload.StreamSet(rng, p)
+			ok, verdicts := core.FCFSSchedulable(net)
+			if !ok {
+				continue
+			}
+			schedulable++
+			res, err := profibus.Simulate(sim)
+			if err != nil {
+				panic(err)
+			}
+			vi := 0
+			for _, m := range res.PerMaster {
+				for _, st := range m.PerStream {
+					bound := verdicts[vi].R
+					vi++
+					if st.WorstResponse > bound {
+						violations++
+					}
+					if st.Missed > 0 {
+						misses++
+					}
+					if r := float64(st.WorstResponse) / float64(bound); r > maxRatio {
+						maxRatio = r
+					}
+				}
+			}
+		}
+		t.AddRow(g.m, g.s, stats.Ratio{K: schedulable, N: cfg.Trials},
+			fmt.Sprintf("%.3f", maxRatio), violations, misses)
+	}
+	return []*stats.Table{t}
+}
+
+// E8TTRSetting sweeps T_TR around the Eq. 15 bound on the DCCS cell:
+// at or below the bound the analysis accepts and the simulation is
+// miss-free; above it the analysis rejects (the simulation may still be
+// miss-free — Eq. 15 is sufficient, not necessary).
+func E8TTRSetting(cfg Config) []*stats.Table {
+	t := stats.NewTable("E8: setting T_TR by Eq. 15 (DCCS cell)",
+		"TTR / bound", "TTR", "Eq.12 schedulable", "sim misses", "worst response / worst deadline")
+	// Compute the bound on the cell with a placeholder TTR.
+	netProbe, _ := workload.DCCSCell(ap.FCFS, 1_000)
+	bound, err := core.MaxTTR(netProbe)
+	if err != nil {
+		panic(fmt.Sprintf("E8: DCCS cell has no feasible TTR: %v", err))
+	}
+	factors := []float64{0.5, 0.9, 1.0, 1.2, 1.5, 2.0}
+	if cfg.Quick {
+		factors = []float64{0.5, 1.0, 2.0}
+	}
+	for _, f := range factors {
+		ttr := core.Ticks(float64(bound) * f)
+		if ttr < 1 {
+			ttr = 1
+		}
+		net, sim := workload.DCCSCell(ap.FCFS, ttr)
+		ok, verdicts := core.FCFSSchedulable(net)
+		res, err := profibus.Simulate(sim)
+		if err != nil {
+			panic(err)
+		}
+		misses := 0
+		var worstR, worstD core.Ticks
+		vi := 0
+		for mi, m := range res.PerMaster {
+			for si, st := range m.PerStream {
+				if !sim.Masters[mi].Streams[si].High {
+					continue // low-priority streams have no Eq. 12 verdict
+				}
+				if st.WorstResponse > worstR {
+					worstR = st.WorstResponse
+					worstD = verdicts[vi].D
+				}
+				misses += int(st.Missed)
+				vi++
+			}
+		}
+		t.AddRow(fmt.Sprintf("%.1f", f), ttr, ok, misses,
+			fmt.Sprintf("%v / %v", worstR, worstD))
+	}
+	t.Note = fmt.Sprintf("Eq. 15 bound for the cell: TTR ≤ %d bit times", bound)
+	return []*stats.Table{t}
+}

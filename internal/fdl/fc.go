@@ -1,0 +1,101 @@
+package fdl
+
+// Frame-control (FC) byte layout of DIN 19245-1. Bit 6 distinguishes
+// request (1) from response (0) frames; in request frames bits 5/4 carry
+// the alternation/validity pair FCB/FCV and bits 3..0 the function code;
+// in response frames bits 5/4 encode the station type and bits 3..0 the
+// response function code.
+const (
+	// FCRequest marks a request (action) frame.
+	FCRequest byte = 0x40
+	// FCFCB is the frame-count bit, alternated per message cycle to
+	// detect lost acknowledgements.
+	FCFCB byte = 0x20
+	// FCFCV marks the frame-count bit as valid.
+	FCFCV byte = 0x10
+)
+
+// Request function codes (bits 3..0 with FCRequest set).
+const (
+	// FnTimeEvent is clock-synchronisation broadcast (CV).
+	FnTimeEvent byte = 0x00
+	// FnSDAlow is Send Data with Acknowledge, low priority.
+	FnSDAlow byte = 0x03
+	// FnSDNlow is Send Data with No acknowledge, low priority.
+	FnSDNlow byte = 0x04
+	// FnSDAhigh is Send Data with Acknowledge, high priority.
+	FnSDAhigh byte = 0x05
+	// FnSDNhigh is Send Data with No acknowledge, high priority.
+	FnSDNhigh byte = 0x06
+	// FnFDLStatus requests the FDL status of a station (used in ring
+	// maintenance / GAP polling).
+	FnFDLStatus byte = 0x09
+	// FnSRDlow is Send and Request Data, low priority.
+	FnSRDlow byte = 0x0C
+	// FnSRDhigh is Send and Request Data, high priority.
+	FnSRDhigh byte = 0x0D
+)
+
+// Response function codes (bits 3..0 with FCRequest clear).
+const (
+	// RspOK is a positive acknowledgement.
+	RspOK byte = 0x00
+	// RspUE signals a user error at the responder.
+	RspUE byte = 0x01
+	// RspRR signals no resource for the request.
+	RspRR byte = 0x02
+	// RspDL is a response carrying data, low priority.
+	RspDL byte = 0x08
+	// RspDH is a response carrying data, high priority.
+	RspDH byte = 0x0A
+)
+
+// Station-type bits (5..4) of response frames.
+const (
+	// StSlave identifies a passive (slave) station.
+	StSlave byte = 0x00
+	// StMasterNotReady identifies a master not ready to enter the ring.
+	StMasterNotReady byte = 0x10
+	// StMasterReady identifies a master ready to enter the ring.
+	StMasterReady byte = 0x20
+	// StMasterInRing identifies a master already in the logical ring.
+	StMasterInRing byte = 0x30
+)
+
+// ReqFC assembles a request FC byte from a function code and the
+// FCB/FCV pair.
+func ReqFC(fn byte, fcb, fcv bool) byte {
+	fc := FCRequest | (fn & 0x0F)
+	if fcb {
+		fc |= FCFCB
+	}
+	if fcv {
+		fc |= FCFCV
+	}
+	return fc
+}
+
+// RspFC assembles a response FC byte from a response code and station
+// type bits.
+func RspFC(rsp, stationType byte) byte {
+	return (stationType & 0x30) | (rsp & 0x0F)
+}
+
+// IsRequest reports whether the FC byte marks a request frame.
+func IsRequest(fc byte) bool { return fc&FCRequest != 0 }
+
+// Function extracts the 4-bit function code.
+func Function(fc byte) byte { return fc & 0x0F }
+
+// HighPriority reports whether a request FC carries high-priority user
+// data (SDA/SDN/SRD high variants).
+func HighPriority(fc byte) bool {
+	if !IsRequest(fc) {
+		return Function(fc) == RspDH
+	}
+	switch Function(fc) {
+	case FnSDAhigh, FnSDNhigh, FnSRDhigh:
+		return true
+	}
+	return false
+}

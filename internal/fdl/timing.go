@@ -1,0 +1,148 @@
+package fdl
+
+import (
+	"fmt"
+
+	"profirt/internal/timeunit"
+)
+
+// Ticks aliases the shared time base; in this package one tick is one
+// bit time at the configured baud rate.
+type Ticks = timeunit.Ticks
+
+// BusParams collects the FDL timing parameters that determine frame and
+// message-cycle durations. All values are in bit times, matching the
+// DIN 19245 convention of specifying delays in t_bit.
+type BusParams struct {
+	// BaudRate in bit/s, used only for wall-clock reporting.
+	BaudRate int64
+	// TSDRmin/TSDRmax bound the responder's station delay: the gap
+	// between the end of the action frame and the start of the
+	// acknowledgement/response.
+	TSDRmin Ticks
+	TSDRmax Ticks
+	// TID1 is the initiator's idle time after receiving an
+	// acknowledgement/response/token before the next transmission.
+	TID1 Ticks
+	// TID2 is the initiator's idle time after sending an
+	// unacknowledged frame (SDN).
+	TID2 Ticks
+	// TSL is the slot time: how long the initiator waits for the first
+	// character of a response before declaring the cycle failed and
+	// retrying (or giving up).
+	TSL Ticks
+	// MaxRetry is the maximum number of retransmissions after a failed
+	// cycle (DIN: typically 1..8).
+	MaxRetry int
+}
+
+// DefaultBusParams returns a parameter set representative of a 500
+// kbit/s PROFIBUS-DP-era segment (values in bit times, from the DIN
+// 19245 recommended ranges).
+func DefaultBusParams() BusParams {
+	return BusParams{
+		BaudRate: 500_000,
+		TSDRmin:  11,
+		TSDRmax:  60,
+		TID1:     37,
+		TID2:     60,
+		TSL:      100,
+		MaxRetry: 1,
+	}
+}
+
+// Validate reports structurally impossible parameter combinations.
+func (p BusParams) Validate() error {
+	switch {
+	case p.TSDRmin < 0 || p.TSDRmax < p.TSDRmin:
+		return fmt.Errorf("fdl: TSDR range [%d,%d] invalid", p.TSDRmin, p.TSDRmax)
+	case p.TID1 < 0 || p.TID2 < 0:
+		return fmt.Errorf("fdl: idle times must be non-negative")
+	case p.TSL <= p.TSDRmax:
+		return fmt.Errorf("fdl: slot time %d must exceed TSDRmax %d (responses would time out)", p.TSL, p.TSDRmax)
+	case p.MaxRetry < 0:
+		return fmt.Errorf("fdl: MaxRetry must be non-negative")
+	}
+	return nil
+}
+
+// Rate returns the tick rate for wall-clock conversions.
+func (p BusParams) Rate() timeunit.Rate {
+	return timeunit.Rate{TicksPerSecond: p.BaudRate}
+}
+
+// TokenPassTicks returns the time to pass the token: the SD4 frame plus
+// the initiator idle time before the next master may transmit.
+func (p BusParams) TokenPassTicks() Ticks {
+	return Ticks(Frame{Kind: KindToken}.Bits()) + p.TID1
+}
+
+// CycleTicks returns the duration of one successful message cycle with
+// the given action and response frames and the given responder delay
+// tsdr (clamped into [TSDRmin, TSDRmax]): action frame + station delay +
+// response frame + initiator idle time.
+func (p BusParams) CycleTicks(action, response Frame, tsdr Ticks) Ticks {
+	if tsdr < p.TSDRmin {
+		tsdr = p.TSDRmin
+	}
+	if tsdr > p.TSDRmax {
+		tsdr = p.TSDRmax
+	}
+	return Ticks(action.Bits()) + tsdr + Ticks(response.Bits()) + p.TID1
+}
+
+// FailedAttemptTicks returns the cost of one failed attempt: the action
+// frame followed by a full slot-time timeout.
+func (p BusParams) FailedAttemptTicks(action Frame) Ticks {
+	return Ticks(action.Bits()) + p.TSL
+}
+
+// WorstCaseCycleTicks returns the paper's C_hi: the worst-case length of
+// a message cycle including the maximum responder delay and all allowed
+// retries (every allowed attempt but the last fails by timeout):
+//
+//	MaxRetry·(action + T_SL) + action + T_SDRmax + response + T_ID1
+func (p BusParams) WorstCaseCycleTicks(action, response Frame) Ticks {
+	retries := timeunit.MulSat(Ticks(p.MaxRetry), p.FailedAttemptTicks(action))
+	return timeunit.AddSat(retries, p.CycleTicks(action, response, p.TSDRmax))
+}
+
+// WorstGapPollTicks returns the worst-case duration of one GAP
+// maintenance FDL-Status poll: the larger of a full status cycle
+// (request + TSDRmax + status response + TID1) and a timeout on an
+// unused address (request + TSL).
+func (p BusParams) WorstGapPollTicks() Ticks {
+	req := Frame{Kind: KindSD1}
+	rsp := Frame{Kind: KindSD1}
+	cycle := p.CycleTicks(req, rsp, p.TSDRmax)
+	timeout := p.FailedAttemptTicks(req)
+	return timeunit.Max(cycle, timeout)
+}
+
+// UnacknowledgedTicks returns the duration of an SDN (broadcast)
+// transmission: the action frame plus TID2; there is no response.
+func (p BusParams) UnacknowledgedTicks(action Frame) Ticks {
+	return Ticks(action.Bits()) + p.TID2
+}
+
+// SRDCycle builds representative action/response frames for a
+// send-and-request-data cycle carrying reqData to and respData from a
+// slave, returning both frames (SD2 unless empty, SD1 when both sides
+// are empty).
+func SRDCycle(master, slave byte, high bool, reqData, respData []byte) (action, response Frame) {
+	fn := FnSRDlow
+	rsp := RspDL
+	if high {
+		fn = FnSRDhigh
+		rsp = RspDH
+	}
+	action = Frame{Kind: KindSD2, DA: slave, SA: master, FC: ReqFC(fn, false, false), Data: reqData}
+	if len(reqData) == 0 {
+		action = Frame{Kind: KindSD1, DA: slave, SA: master, FC: ReqFC(fn, false, false)}
+	}
+	response = Frame{Kind: KindSD2, DA: master, SA: slave, FC: RspFC(rsp, StSlave), Data: respData}
+	if len(respData) == 0 {
+		response = Frame{Kind: KindShortAck}
+	}
+	return action, response
+}

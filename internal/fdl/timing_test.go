@@ -1,0 +1,137 @@
+package fdl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultBusParamsValid(t *testing.T) {
+	if err := DefaultBusParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusParamsValidate(t *testing.T) {
+	cases := []struct {
+		mutate func(*BusParams)
+	}{
+		{func(p *BusParams) { p.TSDRmax = p.TSDRmin - 1 }},
+		{func(p *BusParams) { p.TSDRmin = -1 }},
+		{func(p *BusParams) { p.TID1 = -1 }},
+		{func(p *BusParams) { p.TID2 = -1 }},
+		{func(p *BusParams) { p.TSL = p.TSDRmax }},
+		{func(p *BusParams) { p.MaxRetry = -1 }},
+	}
+	for i, c := range cases {
+		p := DefaultBusParams()
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTokenPassTicks(t *testing.T) {
+	p := DefaultBusParams()
+	// Token frame: 3 chars × 11 bits = 33, + TID1 = 37 ⇒ 70.
+	if got := p.TokenPassTicks(); got != 70 {
+		t.Errorf("TokenPassTicks = %d, want 70", got)
+	}
+}
+
+func TestCycleTicks(t *testing.T) {
+	p := DefaultBusParams()
+	action := Frame{Kind: KindSD1, DA: 5, SA: 1, FC: 0x4D} // 66 bits
+	response := Frame{Kind: KindShortAck}                  // 11 bits
+	got := p.CycleTicks(action, response, 20)              // tsdr within range
+	want := Ticks(66 + 20 + 11 + 37)
+	if got != want {
+		t.Errorf("CycleTicks = %d, want %d", got, want)
+	}
+	// Clamping below and above.
+	if p.CycleTicks(action, response, 0) != 66+11+11+37 {
+		t.Error("tsdr must clamp to TSDRmin")
+	}
+	if p.CycleTicks(action, response, 10_000) != 66+60+11+37 {
+		t.Error("tsdr must clamp to TSDRmax")
+	}
+}
+
+func TestWorstCaseCycleTicks(t *testing.T) {
+	p := DefaultBusParams()
+	p.MaxRetry = 2
+	action := Frame{Kind: KindSD1, DA: 5, SA: 1, FC: 0x4D} // 66 bits
+	resp := Frame{Kind: KindShortAck}                      // 11
+	// 2 failed attempts: 2·(66+100) + success: 66+60+11+37 = 332+174 = 506
+	if got := p.WorstCaseCycleTicks(action, resp); got != 506 {
+		t.Errorf("WorstCaseCycleTicks = %d, want 506", got)
+	}
+	// Zero retries reduces to a single max-delay cycle.
+	p.MaxRetry = 0
+	if got := p.WorstCaseCycleTicks(action, resp); got != 174 {
+		t.Errorf("no-retry worst cycle = %d, want 174", got)
+	}
+}
+
+func TestUnacknowledgedTicks(t *testing.T) {
+	p := DefaultBusParams()
+	f := Frame{Kind: KindSD2, DA: 0x7F, SA: 1, FC: ReqFC(FnSDNlow, false, false), Data: []byte{1, 2}}
+	// (9+2)·11 + 60 = 121 + 60 = 181.
+	if got := p.UnacknowledgedTicks(f); got != 181 {
+		t.Errorf("UnacknowledgedTicks = %d, want 181", got)
+	}
+}
+
+func TestSRDCycleShapes(t *testing.T) {
+	act, rsp := SRDCycle(1, 9, true, []byte{1, 2}, []byte{3, 4, 5})
+	if act.Kind != KindSD2 || rsp.Kind != KindSD2 {
+		t.Error("non-empty payloads must use SD2")
+	}
+	if !HighPriority(act.FC) || !HighPriority(rsp.FC) {
+		t.Error("high cycle must carry high-priority FCs")
+	}
+	if act.DA != 9 || act.SA != 1 || rsp.DA != 1 || rsp.SA != 9 {
+		t.Error("addressing wrong")
+	}
+
+	act, rsp = SRDCycle(1, 9, false, nil, nil)
+	if act.Kind != KindSD1 {
+		t.Error("empty request must use SD1")
+	}
+	if rsp.Kind != KindShortAck {
+		t.Error("empty response must be a short ack")
+	}
+	if HighPriority(act.FC) {
+		t.Error("low cycle marked high")
+	}
+}
+
+func TestWorstGapPollTicks(t *testing.T) {
+	p := DefaultBusParams()
+	// SD1 is 6 chars = 66 bits. Full status cycle: 66 + TSDRmax(60) +
+	// 66 + TID1(37) = 229; timeout: 66 + TSL(100) = 166. Worst = 229.
+	if got := p.WorstGapPollTicks(); got != 229 {
+		t.Errorf("WorstGapPollTicks = %d, want 229", got)
+	}
+	// With a huge slot time the timeout dominates.
+	p.TSL = 1_000
+	if got := p.WorstGapPollTicks(); got != 66+1_000 {
+		t.Errorf("timeout-dominated poll = %d, want %d", got, 66+1_000)
+	}
+}
+
+func TestRateReporting(t *testing.T) {
+	p := DefaultBusParams()
+	if got := p.Rate().Duration(500); got != time.Millisecond {
+		t.Errorf("500 bits at 500kbit/s = %v, want 1ms", got)
+	}
+}
+
+func TestFrameBits(t *testing.T) {
+	if got := (Frame{Kind: KindToken}).Bits(); got != 33 {
+		t.Errorf("token bits = %d, want 33", got)
+	}
+	if got := (Frame{Kind: KindSD2, Data: make([]byte, 10)}).Bits(); got != 19*11 {
+		t.Errorf("SD2(10) bits = %d, want %d", got, 19*11)
+	}
+}

@@ -1,0 +1,408 @@
+package profibus
+
+import (
+	"math/rand"
+
+	"profirt/internal/ap"
+	"profirt/internal/des"
+	"profirt/internal/fdl"
+)
+
+// request is one in-flight message request inside the simulator.
+type request struct {
+	stream  int
+	nominal Ticks
+	ready   Ticks
+}
+
+// tokenPhase tracks where a master is in the paper's token-holding
+// listing.
+type tokenPhase int
+
+const (
+	phaseFirstHigh tokenPhase = iota // the unconditional single high cycle
+	phaseHigh                        // WHILE TTH>0 AND pending high
+	phaseGap                         // ring maintenance (FDL-Status poll)
+	phaseLow                         // WHILE TTH>0 AND pending low
+)
+
+type masterState struct {
+	idx int
+	cfg MasterConfig
+
+	// apQueue holds high-priority requests when the paper's
+	// architecture is active (DM/EDF); nil under stock FCFS.
+	apQueue *ap.Queue
+	// slot is the one-request stack queue under DM/EDF.
+	slot ap.StackSlot
+	// stackHigh is the stock FCFS high-priority stack queue
+	// (unbounded) used when Dispatcher == FCFS.
+	stackHigh []request
+	// stackLow is the FCFS low-priority queue (always stock).
+	stackLow []request
+
+	// frames and worst-case cycle metadata per stream.
+	action   []fdl.Frame
+	response []fdl.Frame
+
+	lastArrival  Ticks
+	firstArrival bool
+	tokenArrival Ticks
+	tth          Ticks
+	phase        tokenPhase
+
+	// inflight is the request whose cycle currently occupies the bus,
+	// tracked so a horizon cut-off still censors it into the stats.
+	inflight *request
+	stats    MasterStats
+
+	// GAP maintenance state: token visits seen, and the next address of
+	// the GAP (between this master and its successor) to poll.
+	visits  int64
+	nextGap byte
+}
+
+// highPending reports whether a high-priority request is available for
+// transmission (in the stack slot or FCFS stack queue).
+func (m *masterState) highPending() bool {
+	if m.cfg.Dispatcher == ap.FCFS {
+		return len(m.stackHigh) > 0
+	}
+	m.slot.Refill(m.apQueue)
+	return m.slot.Filled()
+}
+
+// popHigh removes the next high-priority request.
+func (m *masterState) popHigh() (request, bool) {
+	if m.cfg.Dispatcher == ap.FCFS {
+		if len(m.stackHigh) == 0 {
+			return request{}, false
+		}
+		r := m.stackHigh[0]
+		m.stackHigh = m.stackHigh[1:]
+		return r, true
+	}
+	m.slot.Refill(m.apQueue)
+	ar, ok := m.slot.Take()
+	if !ok {
+		return request{}, false
+	}
+	return request{stream: ar.Stream, nominal: ar.Release, ready: ar.Ready}, true
+}
+
+type simulator struct {
+	cfg     Config
+	eng     des.Engine
+	rng     *rand.Rand
+	masters []*masterState
+	tsdr    map[byte]Ticks
+	res     Result
+}
+
+// Simulate runs the configured network and returns per-stream and
+// per-master statistics.
+func Simulate(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	s := &simulator{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		tsdr: map[byte]Ticks{},
+	}
+	for _, sl := range cfg.Slaves {
+		s.tsdr[sl.Addr] = sl.TSDR
+	}
+	s.res.Horizon = cfg.Horizon
+	s.res.PerMaster = make([]MasterStats, len(cfg.Masters))
+
+	for i, mc := range cfg.Masters {
+		m := &masterState{idx: i, cfg: mc, firstArrival: true}
+		if mc.Dispatcher != ap.FCFS {
+			m.apQueue = ap.NewQueue(mc.Dispatcher)
+		}
+		m.action = make([]fdl.Frame, len(mc.Streams))
+		m.response = make([]fdl.Frame, len(mc.Streams))
+		for si, st := range mc.Streams {
+			m.action[si], m.response[si] = st.Frames(mc.Addr)
+		}
+		m.stats.PerStream = make([]StreamStats, len(mc.Streams))
+		s.masters = append(s.masters, m)
+	}
+
+	// Schedule stream releases.
+	for _, m := range s.masters {
+		for si := range m.cfg.Streams {
+			s.scheduleRelease(m, si, 0)
+		}
+	}
+
+	// Token starts at the first master at t = 0.
+	s.eng.Schedule(0, func() { s.onTokenArrival(s.masters[0]) })
+
+	s.eng.Run(cfg.Horizon)
+	s.censorPending()
+
+	for i, m := range s.masters {
+		s.res.PerMaster[i] = m.stats
+	}
+	return s.res, nil
+}
+
+// scheduleRelease schedules the n-th release of a stream and recurses.
+func (s *simulator) scheduleRelease(m *masterState, si int, n int64) {
+	st := m.cfg.Streams[si]
+	nominal := st.Offset + Ticks(n)*st.Period
+	if nominal >= s.cfg.Horizon {
+		return
+	}
+	var jit Ticks
+	if st.Jitter > 0 {
+		switch s.cfg.Jitter {
+		case JitterRandom:
+			jit = Ticks(s.rng.Int63n(int64(st.Jitter) + 1))
+		case JitterAdversarial:
+			if n == 0 {
+				jit = st.Jitter
+			}
+		}
+	}
+	ready := nominal + jit
+	s.eng.Schedule(ready, func() {
+		m.stats.PerStream[si].Released++
+		r := request{stream: si, nominal: nominal, ready: ready}
+		if st.High {
+			if m.cfg.Dispatcher == ap.FCFS {
+				m.stackHigh = append(m.stackHigh, r)
+			} else {
+				m.apQueue.Push(ap.Request{
+					Stream:      si,
+					Release:     nominal,
+					Ready:       ready,
+					RelDeadline: st.Deadline,
+					AbsDeadline: nominal + st.Deadline,
+				})
+				m.slot.Refill(m.apQueue)
+			}
+		} else {
+			m.stackLow = append(m.stackLow, r)
+		}
+	})
+	s.scheduleRelease(m, si, n+1)
+}
+
+// onTokenArrival implements the paper's run-time listing at station k.
+func (s *simulator) onTokenArrival(m *masterState) {
+	now := s.eng.Now()
+	trr := now - m.lastArrival
+	m.lastArrival = now
+	m.stats.TokenArrivals++
+	if !m.firstArrival {
+		if trr > m.stats.WorstTRR {
+			m.stats.WorstTRR = trr
+		}
+		m.stats.SumTRR += trr
+	}
+	m.firstArrival = false
+
+	m.tokenArrival = now
+	m.tth = s.cfg.TTR - trr
+	if m.tth <= 0 {
+		m.stats.LateTokens++
+	}
+	m.visits++
+	m.phase = phaseFirstHigh
+	s.step(m)
+}
+
+// remainingTTH returns the token-holding budget left at the current
+// instant (negative when the token was late or the budget is spent).
+func (s *simulator) remainingTTH(m *masterState) Ticks {
+	return m.tth - (s.eng.Now() - m.tokenArrival)
+}
+
+// step advances the master's token-holding state machine; it runs at
+// token arrival and after each message-cycle completion.
+func (s *simulator) step(m *masterState) {
+	switch m.phase {
+	case phaseFirstHigh:
+		// IF waiting high-priority messages: execute ONE cycle,
+		// regardless of lateness (the rule the queuing-delay bound
+		// Q = nh·T_cycle rests on).
+		m.phase = phaseHigh
+		if r, ok := m.popHigh(); ok {
+			s.executeCycle(m, r, true)
+			return
+		}
+		s.step(m)
+	case phaseHigh:
+		// WHILE TTH > 0 AND pending high cycles (tested at cycle start).
+		if s.remainingTTH(m) > 0 && m.highPending() {
+			if r, ok := m.popHigh(); ok {
+				s.executeCycle(m, r, true)
+				return
+			}
+		}
+		m.phase = phaseGap
+		s.step(m)
+	case phaseGap:
+		m.phase = phaseLow
+		if s.cfg.GapFactor > 0 && m.visits%int64(s.cfg.GapFactor) == 0 &&
+			s.remainingTTH(m) > 0 {
+			s.executeGapPoll(m)
+			return
+		}
+		s.step(m)
+	case phaseLow:
+		if s.remainingTTH(m) > 0 && len(m.stackLow) > 0 {
+			r := m.stackLow[0]
+			m.stackLow = m.stackLow[1:]
+			s.executeCycle(m, r, false)
+			return
+		}
+		s.passToken(m)
+	}
+}
+
+// executeCycle transmits one message cycle (with fault-injected retries)
+// and schedules the completion event.
+func (s *simulator) executeCycle(m *masterState, r request, high bool) {
+	st := m.cfg.Streams[r.stream]
+	bus := s.cfg.Bus
+	action, response := m.action[r.stream], m.response[r.stream]
+
+	remainingAtStart := s.remainingTTH(m)
+
+	var dur Ticks
+	retries := 0
+	failed := false
+	for {
+		attemptFails := s.cfg.Faults.CycleFailProb > 0 &&
+			s.rng.Float64() < s.cfg.Faults.CycleFailProb
+		if !attemptFails {
+			dur += bus.CycleTicks(action, response, s.tsdr[st.Slave])
+			break
+		}
+		dur += bus.FailedAttemptTicks(action)
+		if retries >= bus.MaxRetry {
+			failed = true
+			break
+		}
+		retries++
+	}
+
+	if high {
+		m.stats.HighCycles++
+	} else {
+		m.stats.LowCycles++
+	}
+
+	m.inflight = &r
+	s.eng.ScheduleAfter(dur, func() {
+		m.inflight = nil
+		stats := &m.stats.PerStream[r.stream]
+		stats.Retries += int64(retries)
+		if remainingAtStart > 0 && dur > remainingAtStart {
+			m.stats.TTHOverruns++
+		}
+		if failed {
+			stats.Failed++
+		} else {
+			stats.Completed++
+			resp := s.eng.Now() - r.nominal
+			if resp > stats.WorstResponse {
+				stats.WorstResponse = resp
+			}
+			stats.TotalResponse += resp
+			if s.eng.Now() > r.nominal+st.Deadline {
+				stats.Missed++
+			}
+		}
+		s.step(m)
+	})
+}
+
+// executeGapPoll performs one FDL-Status request on the next GAP
+// address (DIN 19245 ring maintenance). A station there answers with an
+// SD1 status frame; an unused address costs a full slot-time timeout.
+// Like any message cycle it runs to completion once started.
+func (s *simulator) executeGapPoll(m *masterState) {
+	// Advance through the GAP: addresses strictly between this master
+	// and its ring successor (wrapping at 127).
+	succ := s.masters[(m.idx+1)%len(s.masters)].cfg.Addr
+	next := m.nextGap
+	if next == 0 || next == succ {
+		next = m.cfg.Addr + 1
+	}
+	if next == succ {
+		next = m.cfg.Addr + 1 // degenerate GAP (adjacent addresses)
+	}
+	m.nextGap = (next + 1) % 128
+
+	action := fdl.Frame{Kind: fdl.KindSD1, DA: next, SA: m.cfg.Addr,
+		FC: fdl.ReqFC(fdl.FnFDLStatus, false, false)}
+	var dur Ticks
+	if tsdr, ok := s.tsdr[next]; ok {
+		response := fdl.Frame{Kind: fdl.KindSD1, DA: m.cfg.Addr, SA: next,
+			FC: fdl.RspFC(fdl.RspOK, fdl.StSlave)}
+		dur = s.cfg.Bus.CycleTicks(action, response, tsdr)
+	} else {
+		dur = s.cfg.Bus.FailedAttemptTicks(action)
+	}
+	remainingAtStart := s.remainingTTH(m)
+	m.stats.GapPolls++
+	s.eng.ScheduleAfter(dur, func() {
+		if remainingAtStart > 0 && dur > remainingAtStart {
+			m.stats.TTHOverruns++
+		}
+		s.step(m)
+	})
+}
+
+// passToken transmits the token frame to the ring successor.
+func (s *simulator) passToken(m *masterState) {
+	s.res.TokenPasses++
+	next := s.masters[(m.idx+1)%len(s.masters)]
+	s.eng.ScheduleAfter(s.cfg.Bus.TokenPassTicks(), func() {
+		s.onTokenArrival(next)
+	})
+}
+
+// censorPending accounts for requests still queued at the horizon.
+func (s *simulator) censorPending() {
+	h := s.cfg.Horizon
+	for _, m := range s.masters {
+		censor := func(stream int, nominal Ticks) {
+			st := &m.stats.PerStream[stream]
+			st.Censored++
+			resp := h - nominal
+			if resp > st.WorstResponse {
+				st.WorstResponse = resp
+			}
+			if h > nominal+m.cfg.Streams[stream].Deadline {
+				st.Missed++
+			}
+		}
+		if m.inflight != nil {
+			censor(m.inflight.stream, m.inflight.nominal)
+		}
+		for _, r := range m.stackHigh {
+			censor(r.stream, r.nominal)
+		}
+		for _, r := range m.stackLow {
+			censor(r.stream, r.nominal)
+		}
+		if m.apQueue != nil {
+			if r, ok := m.slot.Take(); ok {
+				censor(r.Stream, r.Release)
+			}
+			for {
+				r, ok := m.apQueue.Pop()
+				if !ok {
+					break
+				}
+				censor(r.Stream, r.Release)
+			}
+		}
+	}
+}

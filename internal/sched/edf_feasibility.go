@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"sort"
+
+	"profirt/internal/timeunit"
+)
+
+// EDFUtilizationTest applies the Liu–Layland EDF bound ΣCi/Ti <= 1,
+// necessary and sufficient for preemptive EDF with implicit deadlines.
+func EDFUtilizationTest(ts TaskSet) bool {
+	return ts.Utilization() <= 1
+}
+
+// DemandBound returns the processor demand h(t): the maximum cumulative
+// execution requirement of jobs with both release and absolute deadline
+// inside an interval of length t starting at a synchronous release.
+//
+// This is the left-hand side of the paper's Eq. 3. The paper prints the
+// job-count factor as ⌈(t−Di)/Ti⌉⁺; the count of deadlines in [0, t] is
+// max(0, ⌊(t+Ji−Di)/Ti⌋+1), which the implementation uses (see DESIGN.md
+// §3 for the discussion of the typographical difference).
+func DemandBound(ts TaskSet, t Ticks) Ticks {
+	var h Ticks
+	for _, tk := range ts {
+		n := timeunit.JobsWithDeadlineBy(t, tk.D, tk.T, tk.J)
+		h = timeunit.AddSat(h, timeunit.MulSat(n, tk.C))
+	}
+	return h
+}
+
+// SynchronousBusyPeriod returns the length L of the longest processor
+// busy period starting from a synchronous release at maximum rate:
+// the least fixed point of W(t) = Σ ⌈(t+Ji)/Ti⌉·Ci, seeded with ΣCi.
+// If the iteration exceeds the horizon (utilisation at or above 1 can
+// make it diverge) the horizon value is returned.
+func SynchronousBusyPeriod(ts TaskSet, horizon Ticks) Ticks {
+	if horizon <= 0 {
+		horizon = defaultHorizon(ts)
+	}
+	var l Ticks
+	for _, t := range ts {
+		l += t.C
+	}
+	for {
+		var next Ticks
+		for _, t := range ts {
+			next = timeunit.AddSat(next,
+				timeunit.MulSat(timeunit.CeilDiv(l+t.J, t.T), t.C))
+		}
+		if next == l {
+			return l
+		}
+		l = next
+		if l >= horizon || l == timeunit.MaxTicks {
+			return horizon
+		}
+	}
+}
+
+// deadlineCheckpoints enumerates the absolute-deadline instants
+// {k·Ti + Di − Ji : k ≥ 0} of every task in (0, limit], the only points
+// where the demand bound changes (paper Eq. 3's set S).
+func deadlineCheckpoints(ts TaskSet, limit Ticks) []Ticks {
+	var pts []Ticks
+	for _, t := range ts {
+		first := t.D - t.J
+		if first < 0 {
+			first = 0
+		}
+		for d := first; d <= limit; d += t.T {
+			if d > 0 {
+				pts = append(pts, d)
+			}
+			if d > limit-t.T { // avoid overflow on the increment
+				break
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	// dedupe
+	out := pts[:0]
+	var prev Ticks = -1
+	for _, p := range pts {
+		if p != prev {
+			out = append(out, p)
+			prev = p
+		}
+	}
+	return out
+}
+
+// FeasibilityReport carries the outcome of a demand-style feasibility
+// test along with diagnosis data.
+type FeasibilityReport struct {
+	// Feasible is the verdict.
+	Feasible bool
+	// ViolationAt is the first checkpoint where demand exceeded supply
+	// (0 when feasible).
+	ViolationAt Ticks
+	// DemandAtViolation is the demand at that point.
+	DemandAtViolation Ticks
+	// Checked is the number of checkpoints evaluated.
+	Checked int
+	// Limit is the upper bound of the scanned interval (t_max).
+	Limit Ticks
+}
+
+// EDFFeasiblePreemptive applies the processor-demand test of the paper's
+// Eq. 3: ∀t ∈ S ∩ [0, t_max]: h(t) ≤ t, with t_max the synchronous busy
+// period. Requires ΣCi/Ti ≤ 1 (otherwise immediately infeasible).
+func EDFFeasiblePreemptive(ts TaskSet) FeasibilityReport {
+	if ts.Utilization() > 1 {
+		return FeasibilityReport{Feasible: false, ViolationAt: 0}
+	}
+	limit := SynchronousBusyPeriod(ts, 0)
+	rep := FeasibilityReport{Feasible: true, Limit: limit}
+	for _, t := range deadlineCheckpoints(ts, limit) {
+		rep.Checked++
+		if h := DemandBound(ts, t); h > t {
+			return FeasibilityReport{
+				Feasible: false, ViolationAt: t,
+				DemandAtViolation: h, Checked: rep.Checked, Limit: limit,
+			}
+		}
+	}
+	return rep
+}
+
+// EDFFeasibleNonPreemptiveZS applies the sufficient non-preemptive EDF
+// test of Zheng & Shin [25,30] (the paper's Eq. 4):
+//
+//	∀t ≥ min Di:  h(t) + max_i{Ci} ≤ t
+//
+// The blocking term conservatively assumes the longest message/task of
+// the whole set blocks at every instant, which George et al. [31] showed
+// to be pessimistic (see EDFFeasibleNonPreemptiveGeorge).
+func EDFFeasibleNonPreemptiveZS(ts TaskSet) FeasibilityReport {
+	if ts.Utilization() > 1 {
+		return FeasibilityReport{Feasible: false}
+	}
+	limit := SynchronousBusyPeriod(ts, 0)
+	blocking := ts.MaxC()
+	minD := timeunit.MaxTicks
+	for _, t := range ts {
+		if t.D < minD {
+			minD = t.D
+		}
+	}
+	rep := FeasibilityReport{Feasible: true, Limit: limit}
+	for _, t := range deadlineCheckpoints(ts, limit) {
+		if t < minD {
+			continue
+		}
+		rep.Checked++
+		if h := timeunit.AddSat(DemandBound(ts, t), blocking); h > t {
+			return FeasibilityReport{
+				Feasible: false, ViolationAt: t,
+				DemandAtViolation: h, Checked: rep.Checked, Limit: limit,
+			}
+		}
+	}
+	return rep
+}
+
+// EDFFeasibleNonPreemptiveGeorge applies the refined non-preemptive EDF
+// test of George, Rivierre & Spuri [31] (the paper's Eq. 5): the
+// blocking at time t comes only from a task whose deadline is beyond t,
+// and a non-preemptive job that starts strictly before t has at most
+// Ci − 1 remaining:
+//
+//	∀t ∈ S:  h(t) + max_{i: Di > t}{Ci − 1} ≤ t
+//
+// (max over an empty index set is 0).
+func EDFFeasibleNonPreemptiveGeorge(ts TaskSet) FeasibilityReport {
+	if ts.Utilization() > 1 {
+		return FeasibilityReport{Feasible: false}
+	}
+	limit := SynchronousBusyPeriod(ts, 0)
+	rep := FeasibilityReport{Feasible: true, Limit: limit}
+	for _, t := range deadlineCheckpoints(ts, limit) {
+		rep.Checked++
+		var blocking Ticks
+		for _, tk := range ts {
+			if tk.D > t && tk.C-1 > blocking {
+				blocking = tk.C - 1
+			}
+		}
+		if h := timeunit.AddSat(DemandBound(ts, t), blocking); h > t {
+			return FeasibilityReport{
+				Feasible: false, ViolationAt: t,
+				DemandAtViolation: h, Checked: rep.Checked, Limit: limit,
+			}
+		}
+	}
+	return rep
+}

@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"sort"
+
+	"profirt/internal/timeunit"
+)
+
+// EDFOptions tunes the EDF response-time analyses.
+type EDFOptions struct {
+	// Horizon caps the busy-period search window (and thus the set of
+	// release offsets examined). Zero selects the synchronous busy
+	// period of the set.
+	Horizon Ticks
+}
+
+// edfCandidateOffsets enumerates the offsets a at which the response
+// time of task i can be maximal (the paper's Eqs. 8 and 10):
+//
+//	a ∈ ∪_j {k·T_j + D_j − D_i : k ∈ ℕ} ∩ [0, limit]
+//
+// 0 is always a member (j = i, k = 0).
+func edfCandidateOffsets(ts TaskSet, i int, limit Ticks) []Ticks {
+	set := map[Ticks]struct{}{0: {}}
+	di := ts[i].D
+	for _, tj := range ts {
+		base := tj.D - di
+		for k := Ticks(0); ; k++ {
+			a := base + timeunit.MulSat(k, tj.T)
+			if a > limit {
+				break
+			}
+			if a >= 0 {
+				set[a] = struct{}{}
+			}
+		}
+	}
+	out := make([]Ticks, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+	return out
+}
+
+// spuriW evaluates W_i(a, t) from the paper's Sec. 2.2 (preemptive EDF):
+// the higher-priority (earlier- or equal-deadline) interference from
+// other tasks inside a busy period of length t when the analysed
+// instance of task i is released at offset a.
+func spuriW(ts TaskSet, i int, a, t Ticks) Ticks {
+	var w Ticks
+	adi := a + ts[i].D
+	for j, tj := range ts {
+		if j == i || tj.D > adi {
+			continue
+		}
+		byRate := timeunit.CeilDiv(t, tj.T)
+		byDeadline := 1 + timeunit.FloorDiv(adi-tj.D, tj.T)
+		w = timeunit.AddSat(w, timeunit.MulSat(timeunit.Min(byRate, byDeadline), tj.C))
+	}
+	return w
+}
+
+// ResponseTimesEDFPreemptive computes per-task worst-case response times
+// under preemptive EDF following Spuri [32] (the paper's Eqs. 6–8):
+//
+//	L_i(a) = W_i(a, L_i(a)) + (1 + ⌊a/T_i⌋)·C_i
+//	r_i(a) = max{C_i, L_i(a) − a},  R_i = max_a r_i(a)
+//
+// Tasks whose busy-period iteration exceeds the horizon get
+// timeunit.MaxTicks.
+func ResponseTimesEDFPreemptive(ts TaskSet, opts EDFOptions) []Ticks {
+	return responseTimesEDF(ts, opts, false)
+}
+
+// ResponseTimesEDFNonPreemptive computes per-task worst-case response
+// times under non-preemptive EDF following George et al. [31] (the
+// paper's Eqs. 9–10). The busy period analysed precedes the *start* of
+// the instance (a later-deadline job can block once, contributing at
+// most C_j − 1):
+//
+//	L_i(a) = max_{D_j > a+D_i}{C_j − 1} + W*_i(a, L_i(a)) + ⌊a/T_i⌋·C_i
+//	r_i(a) = max{C_i, C_i + L_i(a) − a},  R_i = max_a r_i(a)
+func ResponseTimesEDFNonPreemptive(ts TaskSet, opts EDFOptions) []Ticks {
+	return responseTimesEDF(ts, opts, true)
+}
+
+func responseTimesEDF(ts TaskSet, opts EDFOptions, nonPreemptive bool) []Ticks {
+	out := make([]Ticks, len(ts))
+	// With U > 1 the busy period (and the per-offset response as the
+	// offset grows) is unbounded: report MaxTicks for everyone rather
+	// than scanning an enormous candidate window.
+	if ts.UtilizationExceedsOne() {
+		for i := range out {
+			out[i] = timeunit.MaxTicks
+		}
+		return out
+	}
+	limit := opts.Horizon
+	if limit <= 0 {
+		limit = SynchronousBusyPeriod(ts, 0)
+	}
+	for i := range ts {
+		out[i] = responseTimeEDFOne(ts, i, limit, nonPreemptive)
+	}
+	return out
+}
+
+func responseTimeEDFOne(ts TaskSet, i int, limit Ticks, nonPreemptive bool) Ticks {
+	ti := ts[i]
+	var best Ticks
+	for _, a := range edfCandidateOffsets(ts, i, limit) {
+		var r Ticks
+		if nonPreemptive {
+			r = edfNPResponseAt(ts, i, a, limit)
+		} else {
+			r = edfPResponseAt(ts, i, a, limit)
+		}
+		if r == timeunit.MaxTicks {
+			return timeunit.MaxTicks
+		}
+		if r > best {
+			best = r
+		}
+	}
+	if best < ti.C {
+		best = ti.C
+	}
+	return best
+}
+
+// edfPResponseAt evaluates r_i(a) for preemptive EDF (Eq. 6).
+func edfPResponseAt(ts TaskSet, i int, a, horizon Ticks) Ticks {
+	ti := ts[i]
+	own := timeunit.MulSat(1+timeunit.FloorDiv(a, ti.T), ti.C)
+	var l Ticks
+	for {
+		next := timeunit.AddSat(spuriW(ts, i, a, l), own)
+		if next == l {
+			break
+		}
+		l = next
+		if l > timeunit.AddSat(horizon, a) || l == timeunit.MaxTicks {
+			return timeunit.MaxTicks
+		}
+	}
+	return timeunit.Max(ti.C, l-a)
+}
+
+// edfNPResponseAt evaluates r_i(a) for non-preemptive EDF (Eq. 9).
+func edfNPResponseAt(ts TaskSet, i int, a, horizon Ticks) Ticks {
+	ti := ts[i]
+	adi := a + ti.D
+
+	// Blocking from a single already-started later-deadline job.
+	var blocking Ticks
+	for j, tj := range ts {
+		if j != i && tj.D > adi && tj.C-1 > blocking {
+			blocking = tj.C - 1
+		}
+	}
+	earlier := timeunit.MulSat(timeunit.FloorDiv(a, ti.T), ti.C)
+
+	var l Ticks
+	for {
+		var w Ticks
+		for j, tj := range ts {
+			if j == i || tj.D > adi {
+				continue
+			}
+			byRate := 1 + timeunit.FloorDiv(l, tj.T)
+			byDeadline := 1 + timeunit.FloorDiv(adi-tj.D, tj.T)
+			w = timeunit.AddSat(w, timeunit.MulSat(timeunit.Min(byRate, byDeadline), tj.C))
+		}
+		next := timeunit.AddSat(timeunit.AddSat(blocking, w), earlier)
+		if next == l {
+			break
+		}
+		l = next
+		if l > timeunit.AddSat(horizon, a) || l == timeunit.MaxTicks {
+			return timeunit.MaxTicks
+		}
+	}
+	return timeunit.Max(ti.C, timeunit.AddSat(ti.C, l-a))
+}
+
+// EDFSchedulableByResponse checks R_i <= D_i using the response-time
+// analysis selected by nonPreemptive, returning the response times.
+func EDFSchedulableByResponse(ts TaskSet, nonPreemptive bool, opts EDFOptions) (bool, []Ticks) {
+	var rs []Ticks
+	if nonPreemptive {
+		rs = ResponseTimesEDFNonPreemptive(ts, opts)
+	} else {
+		rs = ResponseTimesEDFPreemptive(ts, opts)
+	}
+	ok := true
+	for i, r := range rs {
+		if r > ts[i].D {
+			ok = false
+		}
+	}
+	return ok, rs
+}

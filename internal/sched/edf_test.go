@@ -1,0 +1,301 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"profirt/internal/timeunit"
+)
+
+func TestEDFUtilizationTest(t *testing.T) {
+	ok := TaskSet{mkTask("a", 2, 4, 4), mkTask("b", 4, 8, 8)} // U = 1.0
+	if !EDFUtilizationTest(ok) {
+		t.Error("U=1 must pass the EDF utilisation test")
+	}
+	bad := TaskSet{mkTask("a", 3, 4, 4), mkTask("b", 4, 8, 8)} // U = 1.25
+	if EDFUtilizationTest(bad) {
+		t.Error("U>1 must fail")
+	}
+}
+
+func TestDemandBoundHandComputed(t *testing.T) {
+	// d=4, p=10, C=2 and d=8, p=20, C=5.
+	ts := TaskSet{mkTask("a", 2, 4, 10), mkTask("b", 5, 8, 20)}
+	cases := []struct{ t, want Ticks }{
+		{0, 0},
+		{3, 0},
+		{4, 2},   // one deadline of a
+		{8, 7},   // a@4 + b@8
+		{14, 9},  // a@4,14 + b@8
+		{28, 16}, // a@4,14,24 + b@8,28
+	}
+	for _, c := range cases {
+		if got := DemandBound(ts, c.t); got != c.want {
+			t.Errorf("DemandBound(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDemandBoundMonotone(t *testing.T) {
+	ts := TaskSet{mkTask("a", 2, 4, 10), mkTask("b", 5, 8, 20), mkTask("c", 1, 3, 7)}
+	f := func(raw uint16) bool {
+		x := Ticks(raw % 500)
+		return DemandBound(ts, x) <= DemandBound(ts, x+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynchronousBusyPeriod(t *testing.T) {
+	// C=2,T=6 and C=3,T=9: L: 5 → ⌈5/6⌉2+⌈5/9⌉3 = 5. Fixed point 5.
+	ts := TaskSet{mkTask("a", 2, 6, 6), mkTask("b", 3, 9, 9)}
+	if got := SynchronousBusyPeriod(ts, 0); got != 5 {
+		t.Errorf("L = %d, want 5", got)
+	}
+	// U = 1 with the first idle instant at t = 2 (arrivals at 2 start a
+	// new busy period, they do not extend this one).
+	full := TaskSet{mkTask("a", 1, 2, 2), mkTask("b", 1, 2, 2)}
+	if got := SynchronousBusyPeriod(full, 1000); got != 2 {
+		t.Errorf("U=1 L = %d, want 2", got)
+	}
+	// U > 1: diverges, capped at horizon.
+	over := TaskSet{mkTask("a", 2, 3, 3), mkTask("b", 2, 3, 3)}
+	if got := SynchronousBusyPeriod(over, 1000); got != 1000 {
+		t.Errorf("saturated L = %d, want horizon 1000", got)
+	}
+}
+
+func TestEDFFeasiblePreemptive(t *testing.T) {
+	// Implicit deadlines at U=1: feasible under EDF.
+	ts := TaskSet{mkTask("a", 2, 4, 4), mkTask("b", 4, 8, 8)}
+	rep := EDFFeasiblePreemptive(ts)
+	if !rep.Feasible {
+		t.Errorf("U=1 implicit set must be feasible, violation at %d", rep.ViolationAt)
+	}
+
+	// Tight constrained deadlines: infeasible.
+	bad := TaskSet{mkTask("a", 2, 2, 4), mkTask("b", 4, 5, 8)}
+	rep = EDFFeasiblePreemptive(bad)
+	if rep.Feasible {
+		t.Error("over-constrained set must be infeasible")
+	}
+	if rep.ViolationAt == 0 {
+		t.Error("violation point must be reported")
+	}
+	if rep.DemandAtViolation <= rep.ViolationAt {
+		t.Error("demand at violation must exceed t")
+	}
+
+	// U > 1 short-circuits.
+	over := TaskSet{mkTask("a", 3, 4, 4), mkTask("b", 4, 8, 8)}
+	if EDFFeasiblePreemptive(over).Feasible {
+		t.Error("U>1 must be infeasible")
+	}
+}
+
+func TestEDFFeasibleConstrainedDeadlines(t *testing.T) {
+	// D < T example that passes: a: C=1 D=3 T=10; b: C=2 D=6 T=10.
+	ts := TaskSet{mkTask("a", 1, 3, 10), mkTask("b", 2, 6, 10)}
+	if rep := EDFFeasiblePreemptive(ts); !rep.Feasible {
+		t.Errorf("set should be feasible, violation at %d", rep.ViolationAt)
+	}
+}
+
+func TestNonPreemptiveTestsOrdering(t *testing.T) {
+	// George's Eq. 5 refines Zheng–Shin's Eq. 4: anything accepted by
+	// ZS must be accepted by George. Randomised check.
+	rng := rand.New(rand.NewSource(42))
+	accZS, accG := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(3)
+		ts := make(TaskSet, n)
+		for i := range ts {
+			c := Ticks(1 + rng.Intn(4))
+			T := c*3 + Ticks(rng.Intn(30)) + 6
+			d := c + Ticks(rng.Intn(int(T-c))) + 1
+			ts[i] = Task{Name: "t", C: c, D: d, T: T}
+		}
+		zs := EDFFeasibleNonPreemptiveZS(ts).Feasible
+		g := EDFFeasibleNonPreemptiveGeorge(ts).Feasible
+		if zs {
+			accZS++
+		}
+		if g {
+			accG++
+		}
+		if zs && !g {
+			t.Fatalf("trial %d: ZS accepted but George rejected: %+v", trial, ts)
+		}
+	}
+	if accG < accZS {
+		t.Errorf("George acceptance (%d) must be >= ZS acceptance (%d)", accG, accZS)
+	}
+	if accZS == 0 {
+		t.Error("test workload degenerate: ZS accepted nothing")
+	}
+}
+
+func TestNonPreemptiveGeorgeBlocking(t *testing.T) {
+	// A long low-rate message with a late deadline blocks a tight one.
+	// tight: C=1 D=2 T=10; long: C=5 D=50 T=50.
+	// At t=2: demand 1, blocking from long = C−1 = 4 ⇒ 5 > 2: infeasible.
+	ts := TaskSet{mkTask("tight", 1, 2, 10), mkTask("long", 5, 50, 50)}
+	if EDFFeasibleNonPreemptiveGeorge(ts).Feasible {
+		t.Error("blocking must make the tight deadline infeasible")
+	}
+	// With a shorter blocker it becomes feasible: C=2 ⇒ 1+1 = 2 <= 2.
+	ts[1].C = 2
+	if rep := EDFFeasibleNonPreemptiveGeorge(ts); !rep.Feasible {
+		t.Errorf("short blocker should be feasible, violation at %d", rep.ViolationAt)
+	}
+}
+
+// Hand-worked Spuri example (see package docs):
+// t1: C=2 D=4 T=6; t2: C=3 D=9 T=9 ⇒ R1 = 2, R2 = 5.
+func TestEDFPreemptiveResponseHandComputed(t *testing.T) {
+	ts := TaskSet{mkTask("t1", 2, 4, 6), mkTask("t2", 3, 9, 9)}
+	rs := ResponseTimesEDFPreemptive(ts, EDFOptions{})
+	if rs[0] != 2 {
+		t.Errorf("R1 = %v, want 2", rs[0])
+	}
+	if rs[1] != 5 {
+		t.Errorf("R2 = %v, want 5", rs[1])
+	}
+}
+
+// Non-preemptive version of the same set: t1 can now be blocked by t2's
+// already-started instance: R1 = max over a. At a=0 blocking = C2−1 = 2,
+// W* = 0, L=2, r = max(2, 2+2−0) = 4.
+func TestEDFNonPreemptiveResponseHandComputed(t *testing.T) {
+	ts := TaskSet{mkTask("t1", 2, 4, 6), mkTask("t2", 3, 9, 9)}
+	rs := ResponseTimesEDFNonPreemptive(ts, EDFOptions{})
+	if rs[0] != 4 {
+		t.Errorf("R1 = %v, want 4", rs[0])
+	}
+	// t2 at a=0: W* counts one t1 job (D1=4 ≤ 9): L = 0 + min(1+⌊0/6⌋,
+	// 1+⌊5/6⌋)·2 = 2 → r = max(3, 3+2) = 5.
+	if rs[1] != 5 {
+		t.Errorf("R2 = %v, want 5", rs[1])
+	}
+}
+
+func TestEDFSingleTask(t *testing.T) {
+	ts := TaskSet{mkTask("only", 3, 10, 10)}
+	if rs := ResponseTimesEDFPreemptive(ts, EDFOptions{}); rs[0] != 3 {
+		t.Errorf("preemptive single-task R = %v, want 3", rs[0])
+	}
+	if rs := ResponseTimesEDFNonPreemptive(ts, EDFOptions{}); rs[0] != 3 {
+		t.Errorf("non-preemptive single-task R = %v, want 3", rs[0])
+	}
+}
+
+func TestEDFResponseProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		ts := make(TaskSet, n)
+		for i := range ts {
+			c := Ticks(1 + rng.Intn(4))
+			T := c*3 + Ticks(rng.Intn(24)) + 6
+			d := c + Ticks(rng.Intn(int(T-c))) + 1
+			ts[i] = Task{Name: "t", C: c, D: d, T: T}
+		}
+		rp := ResponseTimesEDFPreemptive(ts, EDFOptions{})
+		rn := ResponseTimesEDFNonPreemptive(ts, EDFOptions{})
+		for i := range ts {
+			if rp[i] < ts[i].C || rn[i] < ts[i].C {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// If the response-time analysis says every deadline is met, the
+// processor-demand feasibility test must agree (both are exact for
+// preemptive EDF on sporadic sets).
+func TestEDFResponseVsDemandConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(3)
+		ts := make(TaskSet, n)
+		for i := range ts {
+			c := Ticks(1 + rng.Intn(3))
+			T := c*3 + Ticks(rng.Intn(20)) + 4
+			d := c + Ticks(rng.Intn(int(T-c))) + 1
+			ts[i] = Task{Name: "t", C: c, D: d, T: T}
+		}
+		ok, _ := EDFSchedulableByResponse(ts, false, EDFOptions{})
+		feas := EDFFeasiblePreemptive(ts).Feasible
+		if ok != feas {
+			t.Fatalf("trial %d: RTA says %v, demand test says %v for %+v",
+				trial, ok, feas, ts)
+		}
+	}
+}
+
+func TestEDFCandidateOffsets(t *testing.T) {
+	ts := TaskSet{mkTask("t1", 2, 4, 6), mkTask("t2", 3, 9, 9)}
+	as := edfCandidateOffsets(ts, 0, 12) // D_i = 4
+	// offsets: from t1: {0, 6, 12}; from t2: {5, 14>12}. Plus 0.
+	want := []Ticks{0, 5, 6, 12}
+	if len(as) != len(want) {
+		t.Fatalf("offsets = %v, want %v", as, want)
+	}
+	for i := range want {
+		if as[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", as, want)
+		}
+	}
+}
+
+func TestEDFDivergentSetsReportMax(t *testing.T) {
+	over := TaskSet{mkTask("a", 3, 4, 4), mkTask("b", 4, 8, 8)} // U > 1
+	for _, nonPre := range []bool{false, true} {
+		var rs []Ticks
+		if nonPre {
+			rs = ResponseTimesEDFNonPreemptive(over, EDFOptions{})
+		} else {
+			rs = ResponseTimesEDFPreemptive(over, EDFOptions{})
+		}
+		for i, r := range rs {
+			if r != timeunit.MaxTicks {
+				t.Errorf("nonPre=%v: R[%d] = %v, want MaxTicks for U>1", nonPre, i, r)
+			}
+		}
+	}
+}
+
+func TestUtilizationExceedsOneExact(t *testing.T) {
+	// 1/3 + 1/3 + 1/3 = 1 exactly; float summation would say 1.0 too,
+	// but e.g. 1/10 summed ten times can drift. Use the exact check.
+	ts := TaskSet{
+		mkTask("a", 1, 3, 3), mkTask("b", 1, 3, 3), mkTask("c", 1, 3, 3),
+	}
+	if ts.UtilizationExceedsOne() {
+		t.Error("U=1 must not exceed one")
+	}
+	ten := make(TaskSet, 10)
+	for i := range ten {
+		ten[i] = mkTask("x", 1, 10, 10)
+	}
+	if ten.UtilizationExceedsOne() {
+		t.Error("10×(1/10) must not exceed one")
+	}
+	ten = append(ten, mkTask("y", 1, 1000, 1000))
+	if !ten.UtilizationExceedsOne() {
+		t.Error("1 + 1/1000 must exceed one")
+	}
+	if !ts.UtilizationExceedsOrEqualsOne() {
+		t.Error("U=1 must satisfy >= 1")
+	}
+	half := TaskSet{mkTask("h", 1, 2, 2)}
+	if half.UtilizationExceedsOrEqualsOne() {
+		t.Error("U=0.5 must not satisfy >= 1")
+	}
+}

@@ -1,0 +1,302 @@
+package sched
+
+import (
+	"math"
+
+	"profirt/internal/timeunit"
+)
+
+// LiuLaylandBound returns the rate-monotonic utilisation bound
+// n·(2^(1/n) − 1) from Liu & Layland [21]; task sets with total
+// utilisation below the bound are schedulable under preemptive RM with
+// implicit deadlines.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// RMUtilizationTest applies the Liu–Layland sufficient test
+// ΣCi/Ti < n·(2^(1/n) − 1). It is only meaningful for implicit-deadline
+// sets in a preemptive context; callers should gate on
+// ts.ImplicitDeadlines().
+func RMUtilizationTest(ts TaskSet) bool {
+	return ts.Utilization() < LiuLaylandBound(len(ts))
+}
+
+// FPOptions tunes the fixed-priority response-time analyses.
+type FPOptions struct {
+	// Preemptive selects Joseph–Pandya RTA; otherwise the
+	// non-preemptive analysis with the blocking factor of the paper's
+	// Eqs. 1–2 is used.
+	Preemptive bool
+	// LiteralPaperRecurrence selects the paper's exact formulations:
+	// for the non-preemptive case Eq. 1 with interference
+	// Σ ⌈(w+J_j)/T_j⌉·C_j evaluated for the first job of the busy
+	// period only. That form is optimistic in two ways (the flaws later
+	// refuted for the analogous CAN analysis by Davis et al., RTSJ
+	// 2007): it misses a higher-priority release coinciding exactly
+	// with the start instant w, and it ignores later jobs of the task
+	// inside the level-i busy period, which inherit push-through
+	// blocking from the job before them. The default (false) uses the
+	// revised, sound analysis: interference Σ (⌊(w+J_j)/T_j⌋+1)·C_j and
+	// examination of every job q = 0, 1, … in the level-i busy period,
+	// for the preemptive mode as well (where multi-job examination
+	// matters once w(0)+J exceeds T).
+	LiteralPaperRecurrence bool
+	// Horizon caps the fixed-point iteration: when the intermediate
+	// response time exceeds the horizon the task is reported
+	// unschedulable (timeunit.MaxTicks). Zero selects a default derived
+	// from the task set (hyperperiod plus largest deadline and jitter,
+	// capped at 1<<40).
+	Horizon Ticks
+}
+
+// defaultHorizon picks an iteration cap large enough that any response
+// time that matters (relative to deadlines) is found exactly.
+func defaultHorizon(ts TaskSet) Ticks {
+	h := ts.Hyperperiod()
+	var extra Ticks
+	for _, t := range ts {
+		if t.D > extra {
+			extra = t.D
+		}
+		if t.J > extra-1 {
+			extra = timeunit.Max(extra, t.J+1)
+		}
+	}
+	h = timeunit.AddSat(h, extra)
+	const cap = Ticks(1) << 40
+	if h > cap || h == timeunit.MaxTicks {
+		return cap
+	}
+	return h
+}
+
+// ResponseTimesFP computes per-task worst-case response times for a
+// fixed-priority ordered set (index 0 = highest priority).
+//
+// Preemptive (Joseph & Pandya [23], with jitter per Audsley et al. [24]):
+//
+//	w_i = C_i + B_i + Σ_{j∈hp(i)} ⌈(w_i + J_j)/T_j⌉·C_j,   R_i = J_i + w_i
+//
+// Non-preemptive (the paper's Eqs. 1–2):
+//
+//	B_i = max_{j∈lp(i)} C_j (plus any Task.B),
+//	w_i = B_i + Σ_{j∈hp(i)} ⌈(w_i + J_j)/T_j⌉·C_j,         R_i = J_i + w_i + C_i
+//
+// Tasks whose iteration exceeds the horizon get timeunit.MaxTicks.
+func ResponseTimesFP(ts TaskSet, opts FPOptions) []Ticks {
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = defaultHorizon(ts)
+	}
+	out := make([]Ticks, len(ts))
+	for i := range ts {
+		out[i] = responseTimeFPOne(ts, i, opts.Preemptive, opts.LiteralPaperRecurrence, horizon)
+	}
+	return out
+}
+
+func responseTimeFPOne(ts TaskSet, i int, preemptive, literal bool, horizon Ticks) Ticks {
+	ti := ts[i]
+	// The revised analysis walks the level-i busy period job by job;
+	// with Σ_{j<=i} C_j/T_j > 1 that busy period never ends, so report
+	// divergence directly instead of crawling toward the horizon. (At
+	// exactly 1 the busy period may still close — e.g. C = T — so the
+	// strict case is left to the q-loop, which is additionally capped.)
+	if !literal && ts[:i+1].UtilizationExceedsOne() {
+		return timeunit.MaxTicks
+	}
+	blocking := ti.B
+	if !preemptive {
+		// Eq. 2: longest lower-priority execution can already occupy the
+		// processor (or, for messages, the single-slot stack queue).
+		for j := i + 1; j < len(ts); j++ {
+			if ts[j].C > blocking {
+				blocking = ts[j].C
+			}
+		}
+	}
+
+	// solve computes the least positive fixed point of
+	//   w = base + Σ_{j∈hp} count(w, j)·C_j
+	// where count is ⌈(w+J_j)/T_j⌉ in the literal/preemptive-completion
+	// reading and ⌊(w+J_j)/T_j⌋+1 in the revised start-instant reading.
+	// The iteration must be seeded with a positive value no larger than
+	// the least positive fixed point: otherwise w = 0 is a spurious
+	// fixed point of the ceil form when base = 0, because ⌈0/T_j⌉
+	// misses the critical-instant releases. One job of every
+	// higher-priority task is always part of that least fixed point.
+	solve := func(base Ticks, ceilCount bool) Ticks {
+		w := base
+		for j := 0; j < i; j++ {
+			w += ts[j].C
+		}
+		if w <= 0 {
+			w = 1
+		}
+		for {
+			next := base
+			for j := 0; j < i; j++ {
+				tj := ts[j]
+				var njobs Ticks
+				if ceilCount {
+					njobs = timeunit.CeilDiv(w+tj.J, tj.T)
+				} else {
+					njobs = timeunit.FloorDiv(w+tj.J, tj.T) + 1
+				}
+				next = timeunit.AddSat(next, timeunit.MulSat(njobs, tj.C))
+			}
+			if next == w {
+				return w
+			}
+			w = next
+			if w > horizon || w == timeunit.MaxTicks {
+				return timeunit.MaxTicks
+			}
+		}
+	}
+
+	if literal {
+		// Paper-exact single-job forms: Joseph–Pandya (preemptive) and
+		// Eq. 1 (non-preemptive), first job of the busy period only.
+		if preemptive {
+			w := solve(blocking+ti.C, true)
+			return timeunit.AddSat(w, ti.J)
+		}
+		w := solve(blocking, true)
+		return timeunit.AddSat(timeunit.AddSat(w, ti.C), ti.J)
+	}
+
+	// Revised sound analysis: examine every job q of task i inside the
+	// level-i busy period (Davis et al.'s corrected formulation). The
+	// busy period must be computed over hp(i) ∪ {i} — it does not end
+	// when one job of i completes if higher-priority arrivals bridge
+	// the gap to i's next release, which is exactly the push-through
+	// scenario the single-job analysis misses.
+	busy := levelBusyPeriod(ts, i, blocking, horizon)
+	if busy >= horizon {
+		return timeunit.MaxTicks
+	}
+	njobs := timeunit.CeilDiv(busy+ti.J, ti.T)
+	if njobs < 1 {
+		njobs = 1
+	}
+	// maxJobs bounds pathological near-saturation busy periods: a task
+	// with that many backlogged jobs is unschedulable for any practical
+	// deadline, so MaxTicks is the honest answer.
+	const maxJobs = 1 << 17
+	if njobs > maxJobs {
+		return timeunit.MaxTicks
+	}
+	var best Ticks
+	for q := Ticks(0); q < njobs; q++ {
+		var w Ticks
+		if preemptive {
+			// w(q) covers the completion of job q.
+			w = solve(blocking+timeunit.MulSat(q+1, ti.C), true)
+		} else {
+			// w(q) covers the start of job q; arrivals exactly at the
+			// start instant win the dispatch (floor+1 counting).
+			w = solve(blocking+timeunit.MulSat(q, ti.C), false)
+		}
+		if w == timeunit.MaxTicks {
+			return timeunit.MaxTicks
+		}
+		finish := w
+		if !preemptive {
+			finish = timeunit.AddSat(finish, ti.C)
+		}
+		r := timeunit.AddSat(finish-timeunit.MulSat(q, ti.T), ti.J)
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// levelBusyPeriod returns the length of the longest level-i busy
+// period: the least positive fixed point of
+//
+//	L = B_i + Σ_{j ∈ hp(i) ∪ {i}} ⌈(L + J_j)/T_j⌉ · C_j
+//
+// capped at the horizon when it fails to close (saturated level).
+func levelBusyPeriod(ts TaskSet, i int, blocking, horizon Ticks) Ticks {
+	l := blocking
+	for j := 0; j <= i; j++ {
+		l += ts[j].C
+	}
+	for {
+		next := blocking
+		for j := 0; j <= i; j++ {
+			tj := ts[j]
+			next = timeunit.AddSat(next,
+				timeunit.MulSat(timeunit.CeilDiv(l+tj.J, tj.T), tj.C))
+		}
+		if next == l {
+			return l
+		}
+		l = next
+		if l >= horizon || l == timeunit.MaxTicks {
+			return horizon
+		}
+	}
+}
+
+// FPSchedulable runs ResponseTimesFP and checks R_i <= D_i for every
+// task, returning the response times for inspection.
+func FPSchedulable(ts TaskSet, opts FPOptions) (bool, []Ticks) {
+	rs := ResponseTimesFP(ts, opts)
+	ok := true
+	for i, r := range rs {
+		if r > ts[i].D {
+			ok = false
+		}
+	}
+	return ok, rs
+}
+
+// AudsleyAssignable applies Audsley's optimal priority-assignment
+// algorithm with the (non-)preemptive RTA as the per-level test: it
+// tries to find, for each priority level from lowest to highest, some
+// unassigned task that would meet its deadline at that level. It returns
+// the priority-ordered set (index 0 highest) and true on success; on
+// failure it returns nil and false. For independent tasks with jitter
+// the RTA test is compatible with OPA, so this finds an assignment iff
+// one exists.
+func AudsleyAssignable(ts TaskSet, preemptive bool) (TaskSet, bool) {
+	n := len(ts)
+	remaining := ts.Clone()
+	ordered := make(TaskSet, n)
+	for level := n - 1; level >= 0; level-- {
+		placed := false
+		for cand := 0; cand < len(remaining); cand++ {
+			// Build a trial ordering: all other remaining tasks above the
+			// candidate (their relative order is irrelevant for the
+			// candidate's response time), then the candidate, then the
+			// already-fixed lower levels.
+			trial := make(TaskSet, 0, n)
+			for k, t := range remaining {
+				if k != cand {
+					trial = append(trial, t)
+				}
+			}
+			trial = append(trial, remaining[cand])
+			trial = append(trial, ordered[level+1:]...)
+			idx := len(remaining) - 1
+			r := responseTimeFPOne(trial, idx, preemptive, false, defaultHorizon(ts))
+			if r <= remaining[cand].D {
+				ordered[level] = remaining[cand]
+				remaining = append(remaining[:cand:cand], remaining[cand+1:]...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return ordered, true
+}
