@@ -1,0 +1,31 @@
+# Developer entry points. `make ci` is the gate: formatting, vet, build,
+# and the full test suite under the race detector (the experiment
+# harness and AnalyzeBatch run real worker pools, so -race is load-
+# bearing, not ceremony).
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkAllExperiments|BenchmarkAnalyzeBatch' -benchmem .

@@ -1,6 +1,7 @@
 package profirt
 
 import (
+	"context"
 	"fmt"
 
 	"profirt/internal/ap"
@@ -8,6 +9,7 @@ import (
 	"profirt/internal/cpusim"
 	"profirt/internal/fdl"
 	"profirt/internal/holistic"
+	"profirt/internal/pool"
 	"profirt/internal/profibus"
 	"profirt/internal/sched"
 	"profirt/internal/timeunit"
@@ -176,6 +178,71 @@ type (
 
 // AnalyzeHolistic solves the coupled task/message/delivery fixed point.
 var AnalyzeHolistic = holistic.Analyze
+
+// BatchOptions tunes AnalyzeBatch.
+type BatchOptions struct {
+	// Parallelism bounds the worker pool. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces sequential evaluation.
+	Parallelism int
+	// Context cancels the batch early; nil means context.Background().
+	// Networks not yet evaluated when the context is done are returned
+	// with Skipped set.
+	Context context.Context
+	// DM tunes the Eq. 16 analysis applied to every network.
+	DM DMMessageOptions
+	// EDF tunes the Eqs. 17–18 analysis applied to every network.
+	EDF EDFMessageOptions
+}
+
+// PolicyVerdict is one dispatching policy's outcome for one network.
+type PolicyVerdict struct {
+	// Schedulable reports whether every stream met its deadline bound.
+	Schedulable bool
+	// Verdicts holds the per-stream bounds in network order.
+	Verdicts []StreamVerdict
+}
+
+// BatchResult is AnalyzeBatch's outcome for one network.
+type BatchResult struct {
+	// Index is the network's position in the input slice.
+	Index int
+	// Skipped marks networks left unevaluated after cancellation.
+	Skipped bool
+	// FCFS is the Eq. 11/12 verdict (the stock PROFIBUS queue).
+	FCFS PolicyVerdict
+	// DM is the revised Eq. 16 verdict.
+	DM PolicyVerdict
+	// EDF is the Eqs. 17–18 verdict.
+	EDF PolicyVerdict
+}
+
+// AnalyzeBatch evaluates the FCFS, DM and EDF schedulability analyses
+// for many network configurations concurrently on a bounded worker
+// pool. Results are returned in input order: out[i] describes nets[i].
+// The analyses are pure functions of each Network, so the batch is
+// deterministic regardless of Parallelism. Cancel via opts.Context to
+// stop early; remaining networks come back with Skipped set.
+func AnalyzeBatch(nets []Network, opts BatchOptions) []BatchResult {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult, len(nets))
+	analyze := func(i int) {
+		r := BatchResult{Index: i}
+		if ctx.Err() != nil {
+			r.Skipped = true
+			out[i] = r
+			return
+		}
+		r.FCFS.Schedulable, r.FCFS.Verdicts = core.FCFSSchedulable(nets[i])
+		r.DM.Schedulable, r.DM.Verdicts = core.DMSchedulable(nets[i], opts.DM)
+		r.EDF.Schedulable, r.EDF.Verdicts = core.EDFSchedulableNet(nets[i], opts.EDF)
+		out[i] = r
+	}
+	pool.Run(opts.Parallelism, len(nets), analyze)
+	return out
+}
 
 // NetworkFromSimConfig derives the analytic model (Network) from a
 // simulator configuration, so one description drives both analysis and

@@ -1,9 +1,13 @@
 package profirt_test
 
 import (
+	"context"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"profirt"
+	"profirt/internal/workload"
 )
 
 // demoConfig builds a small two-master network through the public API.
@@ -93,6 +97,75 @@ func TestFacadeTaskAnalysis(t *testing.T) {
 	}
 	if profirt.LiuLaylandBound(1) != 1 {
 		t.Error("LL(1) must be 1")
+	}
+}
+
+// batchNets draws a deterministic population of analytic networks.
+func batchNets(t *testing.T, n int) []profirt.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	p := workload.DefaultStreamSetParams()
+	nets := make([]profirt.Network, n)
+	for i := range nets {
+		nets[i], _ = workload.StreamSet(rng, p)
+	}
+	return nets
+}
+
+func TestAnalyzeBatchMatchesIndividual(t *testing.T) {
+	nets := batchNets(t, 20)
+	got := profirt.AnalyzeBatch(nets, profirt.BatchOptions{Parallelism: 4})
+	if len(got) != len(nets) {
+		t.Fatalf("results = %d, want %d", len(got), len(nets))
+	}
+	for i, r := range got {
+		if r.Index != i {
+			t.Errorf("result %d carries index %d", i, r.Index)
+		}
+		if r.Skipped {
+			t.Errorf("result %d skipped without cancellation", i)
+		}
+		okF, vF := profirt.FCFSSchedulable(nets[i])
+		okD, vD := profirt.DMSchedulable(nets[i], profirt.DMMessageOptions{})
+		okE, vE := profirt.EDFSchedulableNet(nets[i], profirt.EDFMessageOptions{})
+		if r.FCFS.Schedulable != okF || !reflect.DeepEqual(r.FCFS.Verdicts, vF) {
+			t.Errorf("net %d: FCFS batch verdict diverges from FCFSSchedulable", i)
+		}
+		if r.DM.Schedulable != okD || !reflect.DeepEqual(r.DM.Verdicts, vD) {
+			t.Errorf("net %d: DM batch verdict diverges from DMSchedulable", i)
+		}
+		if r.EDF.Schedulable != okE || !reflect.DeepEqual(r.EDF.Verdicts, vE) {
+			t.Errorf("net %d: EDF batch verdict diverges from EDFSchedulableNet", i)
+		}
+	}
+}
+
+func TestAnalyzeBatchDeterministicAcrossParallelism(t *testing.T) {
+	nets := batchNets(t, 30)
+	seq := profirt.AnalyzeBatch(nets, profirt.BatchOptions{Parallelism: 1})
+	par := profirt.AnalyzeBatch(nets, profirt.BatchOptions{Parallelism: 8})
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("sequential and 8-worker batches disagree")
+	}
+}
+
+func TestAnalyzeBatchCancellation(t *testing.T) {
+	nets := batchNets(t, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, r := range profirt.AnalyzeBatch(nets, profirt.BatchOptions{Context: ctx}) {
+		if !r.Skipped {
+			t.Errorf("net %d evaluated despite cancelled context", i)
+		}
+		if r.Index != i {
+			t.Errorf("result %d carries index %d", i, r.Index)
+		}
+	}
+}
+
+func TestAnalyzeBatchEmpty(t *testing.T) {
+	if got := profirt.AnalyzeBatch(nil, profirt.BatchOptions{}); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
 	}
 }
 

@@ -10,6 +10,7 @@ package profirt_test
 
 import (
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -56,6 +57,50 @@ func BenchmarkE10EDFMessageRTA(b *testing.B)             { benchExperiment(b, "E
 func BenchmarkE11PolicyComparison(b *testing.B)          { benchExperiment(b, "E11") }
 func BenchmarkE12JitterEndToEnd(b *testing.B)            { benchExperiment(b, "E12") }
 func BenchmarkE13Holistic(b *testing.B)                  { benchExperiment(b, "E13") }
+
+// benchAllExperiments runs the full E1–E13 suite once per iteration
+// with the given grid-cell worker-pool size. Compare the Sequential and
+// Parallel variants to see the multi-core speedup of the cell-job
+// harness; the produced tables are byte-identical in both.
+func benchAllExperiments(b *testing.B, parallelism int) {
+	cfg := experiments.QuickConfig()
+	cfg.Parallelism = parallelism
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All() {
+			e.Run(cfg)
+		}
+	}
+}
+
+func BenchmarkAllExperimentsSequential(b *testing.B) { benchAllExperiments(b, 1) }
+func BenchmarkAllExperimentsParallel(b *testing.B) {
+	benchAllExperiments(b, runtime.GOMAXPROCS(0))
+}
+
+// benchBatchNets draws the network population for the AnalyzeBatch
+// benchmarks.
+func benchBatchNets(n int) []profirt.Network {
+	rng := rand.New(rand.NewSource(11))
+	p := workload.DefaultStreamSetParams()
+	p.Masters, p.StreamsPerMaster = 4, 4
+	nets := make([]profirt.Network, n)
+	for i := range nets {
+		nets[i], _ = workload.StreamSet(rng, p)
+	}
+	return nets
+}
+
+func benchAnalyzeBatch(b *testing.B, parallelism int) {
+	nets := benchBatchNets(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profirt.AnalyzeBatch(nets, profirt.BatchOptions{Parallelism: parallelism})
+	}
+}
+
+func BenchmarkAnalyzeBatchSequential(b *testing.B) { benchAnalyzeBatch(b, 1) }
+func BenchmarkAnalyzeBatchParallel(b *testing.B)   { benchAnalyzeBatch(b, runtime.GOMAXPROCS(0)) }
 
 // --- substrate micro-benchmarks ---
 

@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	experiments [-id E7] [-quick] [-trials N] [-seed N] [-format plain|md|csv]
+//	experiments [-id E7] [-quick] [-trials N] [-seed N] [-parallel N] [-format plain|md|csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"profirt/internal/experiments"
 	"profirt/internal/stats"
@@ -21,6 +22,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced grids and trial counts")
 	trials := flag.Int("trials", 0, "override trials per grid cell")
 	seed := flag.Int64("seed", 1, "random seed (tables are reproducible per seed)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"grid-cell worker pool size (1 = sequential; tables are identical either way)")
 	format := flag.String("format", "md", "output format: plain, md or csv")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -40,6 +43,7 @@ func main() {
 	if *trials > 0 {
 		cfg.Trials = *trials
 	}
+	cfg.Parallelism = *parallel
 
 	var toRun []experiments.Experiment
 	if *id != "" {

@@ -17,7 +17,12 @@
 //     Eq. 15 rule for setting T_TR, and the DM/EDF message response-
 //     time analyses with release jitter;
 //   - workload generators and the experiment harness that validates
-//     every analysis against simulation (see EXPERIMENTS.md).
+//     every analysis against simulation (see EXPERIMENTS.md). The
+//     harness evaluates independent grid cells on a bounded worker
+//     pool (experiments.Config.Parallelism, default GOMAXPROCS) with
+//     per-cell deterministic RNG seeding, so tables are byte-identical
+//     at any parallelism; AnalyzeBatch offers the same concurrent,
+//     cancellable evaluation for the message-level analyses.
 //
 // This root package is a facade: it re-exports the library's primary
 // types and entry points so downstream users need a single import. The

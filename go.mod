@@ -1,0 +1,3 @@
+module profirt
+
+go 1.24

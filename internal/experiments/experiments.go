@@ -21,6 +21,12 @@ type Config struct {
 	Trials int
 	// Quick reduces the parameter grids.
 	Quick bool
+	// Parallelism bounds the worker pool evaluating grid cells.
+	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential execution.
+	// Tables are byte-identical regardless of the value: every cell
+	// draws from its own deterministically seeded RNG and results are
+	// reassembled in grid order.
+	Parallelism int
 }
 
 // DefaultConfig returns the full-size configuration used to produce

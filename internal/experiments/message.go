@@ -30,9 +30,10 @@ func E9DMMessageRTA(cfg Config) []*stats.Table {
 	t := stats.NewTable("E9: DM message RTA (Eq. 16) — literal vs revised vs simulation",
 		"jitter", "streams", "literal violations", "revised violations", "max sim/revised", "mean revised/literal")
 	t.Note = "a literal violation = simulated response above the paper's Eq. 16 bound (its optimistic corner cases)"
-	rng := rand.New(rand.NewSource(cfg.Seed + 9))
 	jitters := []core.Ticks{0, 2_000}
-	for _, jit := range jitters {
+	rows := make([][]any, len(jitters))
+	forEachCell(cfg, "E9", len(jitters), func(ci int, rng *rand.Rand) {
+		jit := jitters[ci]
 		p := msgParams(ap.DM)
 		p.MaxJitter = jit
 		litViol, revViol, streams := 0, 0, 0
@@ -79,9 +80,10 @@ func E9DMMessageRTA(cfg Config) []*stats.Table {
 		if cmp > 0 {
 			meanRel = sumRel / float64(cmp)
 		}
-		t.AddRow(jit, streams, litViol, revViol,
-			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel))
-	}
+		rows[ci] = []any{jit, streams, litViol, revViol,
+			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel)}
+	})
+	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -90,8 +92,10 @@ func E9DMMessageRTA(cfg Config) []*stats.Table {
 func E10EDFMessageRTA(cfg Config) []*stats.Table {
 	t := stats.NewTable("E10: EDF message RTA (Eqs. 17–18) vs simulation + refined T_cycle ablation",
 		"jitter", "streams", "violations", "max sim/bound", "mean refined/literal bound")
-	rng := rand.New(rand.NewSource(cfg.Seed + 10))
-	for _, jit := range []core.Ticks{0, 2_000} {
+	jitters := []core.Ticks{0, 2_000}
+	rows := make([][]any, len(jitters))
+	forEachCell(cfg, "E10", len(jitters), func(ci int, rng *rand.Rand) {
+		jit := jitters[ci]
 		p := msgParams(ap.EDF)
 		p.MaxJitter = jit
 		p.LowPriorityLoad = true
@@ -137,9 +141,10 @@ func E10EDFMessageRTA(cfg Config) []*stats.Table {
 		if cmp > 0 {
 			meanRel = sumRel / float64(cmp)
 		}
-		t.AddRow(jit, streams, violations,
-			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel))
-	}
+		rows[ci] = []any{jit, streams, violations,
+			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel)}
+	})
+	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -151,24 +156,28 @@ func E11PolicyComparison(cfg Config) []*stats.Table {
 	t := stats.NewTable("E11: schedulable fraction as deadlines tighten (headline claim)",
 		"deadline scale", "FCFS Eq.11", "DM Eq.16(rev)", "EDF Eq.17/18",
 		"sim miss-free FCFS", "sim miss-free DM", "sim miss-free EDF")
-	rng := rand.New(rand.NewSource(cfg.Seed + 11))
 	scales := []float64{1.0, 0.6, 0.4, 0.3, 0.25, 0.2, 0.15, 0.1}
 	if cfg.Quick {
 		scales = []float64{1.0, 0.4, 0.2}
 	}
 	p := msgParams(ap.FCFS)
 	p.StreamsPerMaster = 4
-	// Pre-draw the base scenarios so each scale sees identical traffic.
+	// Pre-draw the base scenarios from a dedicated RNG so each scale
+	// sees identical traffic; the scale cells then only read them
+	// (ScaleDeadlines and WithDispatcher copy before mutating).
 	type scenario struct {
 		net core.Network
 		cfg profibus.Config
 	}
+	rng := cellRNG(cfg, "E11/base", 0)
 	base := make([]scenario, cfg.Trials)
 	for i := range base {
 		n, c := workload.StreamSet(rng, p)
 		base[i] = scenario{n, c}
 	}
-	for _, scale := range scales {
+	rows := make([][]any, len(scales))
+	forEachCell(cfg, "E11", len(scales), func(ci int, _ *rand.Rand) {
+		scale := scales[ci]
 		var accF, accD, accE, okF, okD, okE int
 		for _, sc := range base {
 			net, sim := workload.ScaleDeadlines(sc.net, sc.cfg, scale)
@@ -199,10 +208,11 @@ func E11PolicyComparison(cfg Config) []*stats.Table {
 			}
 		}
 		n := len(base)
-		t.AddRow(fmt.Sprintf("%.2f", scale),
+		rows[ci] = []any{fmt.Sprintf("%.2f", scale),
 			stats.Ratio{K: accF, N: n}, stats.Ratio{K: accD, N: n}, stats.Ratio{K: accE, N: n},
-			stats.Ratio{K: okF, N: n}, stats.Ratio{K: okD, N: n}, stats.Ratio{K: okE, N: n})
-	}
+			stats.Ratio{K: okF, N: n}, stats.Ratio{K: okD, N: n}, stats.Ratio{K: okE, N: n}}
+	})
+	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -222,15 +232,18 @@ func E12JitterEndToEnd(cfg Config) []*stats.Table {
 	if cfg.Quick {
 		fractions = []float64{0, 0.2, 0.5}
 	}
-	for _, f := range fractions {
+	rows := make([][]any, len(fractions))
+	forEachCell(cfg, "E12", len(fractions), func(ci int, _ *rand.Rand) {
+		f := fractions[ci]
 		streams := append([]core.Stream(nil), base...)
 		for i := range streams {
 			streams[i].J = core.Ticks(f * float64(streams[i].T))
 		}
 		dm := core.DMResponseTimes(streams, tc, core.DMOptions{})
 		edf := core.EDFResponseTimes(streams, tc, core.EDFOptions{})
-		t.AddRow(fmt.Sprintf("%.1f", f), dm[0], dm[2], edf[0], edf[2])
-	}
+		rows[ci] = []any{fmt.Sprintf("%.1f", f), dm[0], dm[2], edf[0], edf[2]}
+	})
+	addRows(t, rows)
 
 	t2 := stats.NewTable("E12b: end-to-end decomposition E = g + Q + C + d (tightest stream, J/T = 0.2)",
 		"component", "bit times")

@@ -17,12 +17,13 @@ import (
 func E6TokenCycleBound(cfg Config) []*stats.Table {
 	t := stats.NewTable("E6: token rotation vs T_cycle = T_TR + T_del (Eqs. 13–14)",
 		"masters", "TTR", "worst TRR (sim)", "T_cycle (Eq.14)", "refined", "ratio sim/Eq.14", "violations")
-	rng := rand.New(rand.NewSource(cfg.Seed + 6))
 	sizes := []int{2, 4, 6}
 	if cfg.Quick {
 		sizes = []int{2, 4}
 	}
-	for _, masters := range sizes {
+	rows := make([][]any, len(sizes))
+	forEachCell(cfg, "E6", len(sizes), func(ci int, rng *rand.Rand) {
+		masters := sizes[ci]
 		var worst, bound, refined core.Ticks
 		violations := 0
 		p := workload.DefaultStreamSetParams()
@@ -51,9 +52,10 @@ func E6TokenCycleBound(cfg Config) []*stats.Table {
 				violations++
 			}
 		}
-		t.AddRow(masters, p.TTR, worst, bound, refined,
-			ratioCell(float64(worst), float64(bound)), violations)
-	}
+		rows[ci] = []any{masters, p.TTR, worst, bound, refined,
+			ratioCell(float64(worst), float64(bound)), violations}
+	})
+	addRows(t, rows)
 
 	// Section 3.3 scenario: an idle rotation, then master 1 overruns
 	// with its longest (low-priority) cycle and every follower uses the
@@ -85,12 +87,13 @@ func E6TokenCycleBound(cfg Config) []*stats.Table {
 func E7FCFSBound(cfg Config) []*stats.Table {
 	t := stats.NewTable("E7: FCFS bound R = nh·T_cycle (Eq. 11) vs simulation",
 		"masters", "streams/master", "schedulable", "max sim/bound", "violations", "misses")
-	rng := rand.New(rand.NewSource(cfg.Seed + 7))
 	grid := []struct{ m, s int }{{2, 2}, {2, 4}, {4, 2}, {4, 4}}
 	if cfg.Quick {
 		grid = grid[:2]
 	}
-	for _, g := range grid {
+	rows := make([][]any, len(grid))
+	forEachCell(cfg, "E7", len(grid), func(ci int, rng *rand.Rand) {
+		g := grid[ci]
 		p := workload.DefaultStreamSetParams()
 		p.Masters, p.StreamsPerMaster = g.m, g.s
 		p.TTR = 4_000
@@ -126,9 +129,10 @@ func E7FCFSBound(cfg Config) []*stats.Table {
 				}
 			}
 		}
-		t.AddRow(g.m, g.s, stats.Ratio{K: schedulable, N: cfg.Trials},
-			fmt.Sprintf("%.3f", maxRatio), violations, misses)
-	}
+		rows[ci] = []any{g.m, g.s, stats.Ratio{K: schedulable, N: cfg.Trials},
+			fmt.Sprintf("%.3f", maxRatio), violations, misses}
+	})
+	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -149,7 +153,9 @@ func E8TTRSetting(cfg Config) []*stats.Table {
 	if cfg.Quick {
 		factors = []float64{0.5, 1.0, 2.0}
 	}
-	for _, f := range factors {
+	rows := make([][]any, len(factors))
+	forEachCell(cfg, "E8", len(factors), func(ci int, _ *rand.Rand) {
+		f := factors[ci]
 		ttr := core.Ticks(float64(bound) * f)
 		if ttr < 1 {
 			ttr = 1
@@ -176,9 +182,10 @@ func E8TTRSetting(cfg Config) []*stats.Table {
 				vi++
 			}
 		}
-		t.AddRow(fmt.Sprintf("%.1f", f), ttr, ok, misses,
-			fmt.Sprintf("%v / %v", worstR, worstD))
-	}
+		rows[ci] = []any{fmt.Sprintf("%.1f", f), ttr, ok, misses,
+			fmt.Sprintf("%v / %v", worstR, worstD)}
+	})
+	addRows(t, rows)
 	t.Note = fmt.Sprintf("Eq. 15 bound for the cell: TTR ≤ %d bit times", bound)
 	return []*stats.Table{t}
 }

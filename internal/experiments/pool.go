@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+
+	"profirt/internal/pool"
+)
+
+// The experiment drivers are embarrassingly parallel across grid cells
+// (one cell = one parameter combination), but naive parallelisation
+// would destroy reproducibility: the seed harness threaded a single
+// *rand.Rand through the nested grid loops, so any reordering changed
+// every draw downstream. The pool below restores determinism by
+// construction: each cell owns an RNG seeded from
+//
+//	Seed ⊕ FNV-1a(experimentID, cellIndex)
+//
+// so a cell's random stream depends only on (Seed, experiment, cell) —
+// never on scheduling order — and the drivers write results into
+// per-cell slots that are reassembled in index order afterwards.
+// Tables are therefore byte-identical for any Parallelism value.
+
+// cellSeed derives the deterministic RNG seed for one grid cell.
+func cellSeed(seed int64, experimentID string, cell int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(experimentID))
+	var idx [8]byte
+	binary.LittleEndian.PutUint64(idx[:], uint64(cell))
+	h.Write(idx[:])
+	return seed ^ int64(h.Sum64())
+}
+
+// cellRNG builds the RNG a cell job must use for all its draws.
+func cellRNG(cfg Config, experimentID string, cell int) *rand.Rand {
+	return rand.New(rand.NewSource(cellSeed(cfg.Seed, experimentID, cell)))
+}
+
+// forEachCell evaluates fn(cell, rng) for every cell in [0, n) on a
+// bounded worker pool of cfg.Parallelism goroutines (0 meaning
+// GOMAXPROCS, per pool.Run) and blocks until all cells are done. Each
+// invocation receives a fresh RNG from cellRNG, so fn must take all
+// randomness from the rng argument. fn runs concurrently with other
+// cells: it must only write to state owned by its cell (typically a
+// preallocated per-cell result slot).
+func forEachCell(cfg Config, experimentID string, n int, fn func(cell int, rng *rand.Rand)) {
+	pool.Run(cfg.Parallelism, n, func(cell int) {
+		fn(cell, cellRNG(cfg, experimentID, cell))
+	})
+}

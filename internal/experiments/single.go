@@ -26,6 +26,30 @@ func nGrid(quick bool) []int {
 	return []int{4, 8, 12}
 }
 
+// nuCell is one (n, U) grid cell shared by the Section 2 sweeps.
+type nuCell struct {
+	n int
+	u float64
+}
+
+// nuGrid enumerates the (n, U) grid in row-major order.
+func nuGrid(quick bool) []nuCell {
+	var cells []nuCell
+	for _, n := range nGrid(quick) {
+		for _, u := range uGrid(quick) {
+			cells = append(cells, nuCell{n, u})
+		}
+	}
+	return cells
+}
+
+// addRows appends the per-cell rows to t in grid order.
+func addRows(t *stats.Table, rows [][]any) {
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+}
+
 // simWorst simulates a priority-ordered set under the policy with both
 // a synchronous and a random-offset pattern and returns the per-task
 // worst observed responses.
@@ -58,39 +82,40 @@ func E1FixedPriorityPreemptive(cfg Config) []*stats.Table {
 	t := stats.NewTable("E1: preemptive FP RTA vs simulation (DM priorities)",
 		"n", "U", "sched. ratio", "max sim/bound", "tight tasks", "violations")
 	t.Note = "bound = Joseph–Pandya response-time analysis; sim = cpusim over synchronous + random offsets"
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, n := range nGrid(cfg.Quick) {
-		for _, u := range uGrid(cfg.Quick) {
-			var schedulable, violations, tight, tasks int
-			maxRatio := 0.0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				ts := sched.SortDM(workload.TaskSet(rng, workload.DefaultTaskSetParams(n, u)))
-				ok, bounds := sched.FPSchedulable(ts, sched.FPOptions{Preemptive: true})
-				if !ok {
-					continue
+	cells := nuGrid(cfg.Quick)
+	rows := make([][]any, len(cells))
+	forEachCell(cfg, "E1", len(cells), func(ci int, rng *rand.Rand) {
+		c := cells[ci]
+		var schedulable, violations, tight, tasks int
+		maxRatio := 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			ts := sched.SortDM(workload.TaskSet(rng, workload.DefaultTaskSetParams(c.n, c.u)))
+			ok, bounds := sched.FPSchedulable(ts, sched.FPOptions{Preemptive: true})
+			if !ok {
+				continue
+			}
+			schedulable++
+			worst := simWorst(ts, cpusim.FPPreemptive, rng)
+			for i := range ts {
+				tasks++
+				if worst[i] > bounds[i] {
+					violations++
 				}
-				schedulable++
-				worst := simWorst(ts, cpusim.FPPreemptive, rng)
-				for i := range ts {
-					tasks++
-					if worst[i] > bounds[i] {
-						violations++
-					}
-					if worst[i] == bounds[i] {
-						tight++
-					}
-					if r := float64(worst[i]) / float64(bounds[i]); r > maxRatio {
-						maxRatio = r
-					}
+				if worst[i] == bounds[i] {
+					tight++
+				}
+				if r := float64(worst[i]) / float64(bounds[i]); r > maxRatio {
+					maxRatio = r
 				}
 			}
-			t.AddRow(n, fmt.Sprintf("%.1f", u),
-				stats.Ratio{K: schedulable, N: cfg.Trials},
-				fmt.Sprintf("%.3f", maxRatio),
-				fmt.Sprintf("%d/%d", tight, tasks),
-				violations)
 		}
-	}
+		rows[ci] = []any{c.n, fmt.Sprintf("%.1f", c.u),
+			stats.Ratio{K: schedulable, N: cfg.Trials},
+			fmt.Sprintf("%.3f", maxRatio),
+			fmt.Sprintf("%d/%d", tight, tasks),
+			violations}
+	})
+	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -101,44 +126,45 @@ func E2FixedPriorityNonPreemptive(cfg Config) []*stats.Table {
 	t := stats.NewTable("E2: non-preemptive FP RTA — literal Eq. 1 vs revised vs simulation",
 		"n", "U", "literal violations", "revised violations", "max sim/revised", "mean revised/literal")
 	t.Note = "a literal violation means the simulator exceeded the paper's Eq. 1 bound (the pre-2007 optimism)"
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
-	for _, n := range nGrid(cfg.Quick) {
-		for _, u := range uGrid(cfg.Quick) {
-			var litViol, revViol, cmpCount int
-			maxRatio, sumRel := 0.0, 0.0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				p := workload.DefaultTaskSetParams(n, u)
-				p.PeriodMin, p.PeriodMax = 20, 600 // short periods make boundary ties likely
-				ts := sched.SortDM(workload.TaskSet(rng, p))
-				lit := sched.ResponseTimesFP(ts, sched.FPOptions{LiteralPaperRecurrence: true})
-				rev := sched.ResponseTimesFP(ts, sched.FPOptions{})
-				worst := simWorst(ts, cpusim.FPNonPreemptive, rng)
-				for i := range ts {
-					if lit[i] != timeunit.MaxTicks && worst[i] > lit[i] {
-						litViol++
+	cells := nuGrid(cfg.Quick)
+	rows := make([][]any, len(cells))
+	forEachCell(cfg, "E2", len(cells), func(ci int, rng *rand.Rand) {
+		c := cells[ci]
+		var litViol, revViol, cmpCount int
+		maxRatio, sumRel := 0.0, 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			p := workload.DefaultTaskSetParams(c.n, c.u)
+			p.PeriodMin, p.PeriodMax = 20, 600 // short periods make boundary ties likely
+			ts := sched.SortDM(workload.TaskSet(rng, p))
+			lit := sched.ResponseTimesFP(ts, sched.FPOptions{LiteralPaperRecurrence: true})
+			rev := sched.ResponseTimesFP(ts, sched.FPOptions{})
+			worst := simWorst(ts, cpusim.FPNonPreemptive, rng)
+			for i := range ts {
+				if lit[i] != timeunit.MaxTicks && worst[i] > lit[i] {
+					litViol++
+				}
+				if rev[i] != timeunit.MaxTicks {
+					if worst[i] > rev[i] {
+						revViol++
 					}
-					if rev[i] != timeunit.MaxTicks {
-						if worst[i] > rev[i] {
-							revViol++
-						}
-						if r := float64(worst[i]) / float64(rev[i]); r > maxRatio {
-							maxRatio = r
-						}
-					}
-					if lit[i] != timeunit.MaxTicks && rev[i] != timeunit.MaxTicks && lit[i] > 0 {
-						sumRel += float64(rev[i]) / float64(lit[i])
-						cmpCount++
+					if r := float64(worst[i]) / float64(rev[i]); r > maxRatio {
+						maxRatio = r
 					}
 				}
+				if lit[i] != timeunit.MaxTicks && rev[i] != timeunit.MaxTicks && lit[i] > 0 {
+					sumRel += float64(rev[i]) / float64(lit[i])
+					cmpCount++
+				}
 			}
-			meanRel := 0.0
-			if cmpCount > 0 {
-				meanRel = sumRel / float64(cmpCount)
-			}
-			t.AddRow(n, fmt.Sprintf("%.1f", u), litViol, revViol,
-				fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel))
 		}
-	}
+		meanRel := 0.0
+		if cmpCount > 0 {
+			meanRel = sumRel / float64(cmpCount)
+		}
+		rows[ci] = []any{c.n, fmt.Sprintf("%.1f", c.u), litViol, revViol,
+			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel)}
+	})
+	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -148,40 +174,49 @@ func E2FixedPriorityNonPreemptive(cfg Config) []*stats.Table {
 func E3EDFDemand(cfg Config) []*stats.Table {
 	t := stats.NewTable("E3: EDF processor-demand test (Eq. 3) vs simulation",
 		"U", "D/T ratio", "accepted", "sim misses in accepted", "mean checked points")
-	rng := rand.New(rand.NewSource(cfg.Seed + 3))
 	ratios := []float64{1.0, 0.7}
 	if cfg.Quick {
 		ratios = []float64{0.7}
 	}
+	type cell struct {
+		dr, u float64
+	}
+	var cells []cell
 	for _, dr := range ratios {
 		for _, u := range uGrid(cfg.Quick) {
-			accepted, misses, points := 0, 0, 0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				p := workload.DefaultTaskSetParams(5, u)
-				p.DeadlineRatioMin = dr
-				ts := workload.TaskSet(rng, p)
-				rep := sched.EDFFeasiblePreemptive(ts)
-				if !rep.Feasible {
-					continue
-				}
-				accepted++
-				points += rep.Checked
-				res, err := cpusim.Run(ts, cpusim.Options{Policy: cpusim.EDFPreemptive, Horizon: 1 << 15})
-				if err != nil {
-					panic(err)
-				}
-				if res.AnyMiss() {
-					misses++
-				}
-			}
-			mean := 0.0
-			if accepted > 0 {
-				mean = float64(points) / float64(accepted)
-			}
-			t.AddRow(fmt.Sprintf("%.1f", u), fmt.Sprintf("%.1f", dr),
-				stats.Ratio{K: accepted, N: cfg.Trials}, misses, fmt.Sprintf("%.1f", mean))
+			cells = append(cells, cell{dr, u})
 		}
 	}
+	rows := make([][]any, len(cells))
+	forEachCell(cfg, "E3", len(cells), func(ci int, rng *rand.Rand) {
+		c := cells[ci]
+		accepted, misses, points := 0, 0, 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			p := workload.DefaultTaskSetParams(5, c.u)
+			p.DeadlineRatioMin = c.dr
+			ts := workload.TaskSet(rng, p)
+			rep := sched.EDFFeasiblePreemptive(ts)
+			if !rep.Feasible {
+				continue
+			}
+			accepted++
+			points += rep.Checked
+			res, err := cpusim.Run(ts, cpusim.Options{Policy: cpusim.EDFPreemptive, Horizon: 1 << 15})
+			if err != nil {
+				panic(err)
+			}
+			if res.AnyMiss() {
+				misses++
+			}
+		}
+		mean := 0.0
+		if accepted > 0 {
+			mean = float64(points) / float64(accepted)
+		}
+		rows[ci] = []any{fmt.Sprintf("%.1f", c.u), fmt.Sprintf("%.1f", c.dr),
+			stats.Ratio{K: accepted, N: cfg.Trials}, misses, fmt.Sprintf("%.1f", mean)}
+	})
+	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -190,44 +225,53 @@ func E3EDFDemand(cfg Config) []*stats.Table {
 func E4NonPreemptiveEDFTests(cfg Config) []*stats.Table {
 	t := stats.NewTable("E4: non-preemptive EDF feasibility — Eq. 4 (Zheng–Shin) vs Eq. 5 (George)",
 		"D/T min", "U", "ZS accepts", "George accepts", "George-only", "disagreements vs sim")
-	rng := rand.New(rand.NewSource(cfg.Seed + 4))
 	ratios := []float64{0.4, 0.6, 0.8, 1.0}
 	if cfg.Quick {
 		ratios = []float64{0.6, 1.0}
 	}
+	type cell struct {
+		dr, u float64
+	}
+	var cells []cell
 	for _, dr := range ratios {
 		for _, u := range []float64{0.5, 0.7} {
-			zsAcc, gAcc, gOnly, simViol := 0, 0, 0, 0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				p := workload.DefaultTaskSetParams(5, u)
-				p.DeadlineRatioMin = dr
-				p.PeriodMin, p.PeriodMax = 50, 2_000
-				ts := workload.TaskSet(rng, p)
-				zs := sched.EDFFeasibleNonPreemptiveZS(ts).Feasible
-				g := sched.EDFFeasibleNonPreemptiveGeorge(ts).Feasible
-				if zs {
-					zsAcc++
-				}
-				if g {
-					gAcc++
-					res, err := cpusim.Run(ts, cpusim.Options{Policy: cpusim.EDFNonPreemptive, Horizon: 1 << 15})
-					if err != nil {
-						panic(err)
-					}
-					if res.AnyMiss() {
-						simViol++
-					}
-				}
-				if g && !zs {
-					gOnly++
-				}
-			}
-			t.AddRow(fmt.Sprintf("%.1f", dr), fmt.Sprintf("%.1f", u),
-				stats.Ratio{K: zsAcc, N: cfg.Trials},
-				stats.Ratio{K: gAcc, N: cfg.Trials},
-				gOnly, simViol)
+			cells = append(cells, cell{dr, u})
 		}
 	}
+	rows := make([][]any, len(cells))
+	forEachCell(cfg, "E4", len(cells), func(ci int, rng *rand.Rand) {
+		c := cells[ci]
+		zsAcc, gAcc, gOnly, simViol := 0, 0, 0, 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			p := workload.DefaultTaskSetParams(5, c.u)
+			p.DeadlineRatioMin = c.dr
+			p.PeriodMin, p.PeriodMax = 50, 2_000
+			ts := workload.TaskSet(rng, p)
+			zs := sched.EDFFeasibleNonPreemptiveZS(ts).Feasible
+			g := sched.EDFFeasibleNonPreemptiveGeorge(ts).Feasible
+			if zs {
+				zsAcc++
+			}
+			if g {
+				gAcc++
+				res, err := cpusim.Run(ts, cpusim.Options{Policy: cpusim.EDFNonPreemptive, Horizon: 1 << 15})
+				if err != nil {
+					panic(err)
+				}
+				if res.AnyMiss() {
+					simViol++
+				}
+			}
+			if g && !zs {
+				gOnly++
+			}
+		}
+		rows[ci] = []any{fmt.Sprintf("%.1f", c.dr), fmt.Sprintf("%.1f", c.u),
+			stats.Ratio{K: zsAcc, N: cfg.Trials},
+			stats.Ratio{K: gAcc, N: cfg.Trials},
+			gOnly, simViol}
+	})
+	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -236,48 +280,58 @@ func E4NonPreemptiveEDFTests(cfg Config) []*stats.Table {
 func E5EDFResponseTimes(cfg Config) []*stats.Table {
 	t := stats.NewTable("E5: EDF response-time analyses (Eqs. 6–10) vs simulation",
 		"mode", "U", "violations", "max sim/bound", "mean sim/bound")
-	rng := rand.New(rand.NewSource(cfg.Seed + 5))
+	type cell struct {
+		mode string
+		u    float64
+	}
+	var cells []cell
 	for _, mode := range []string{"preemptive", "non-preemptive"} {
 		for _, u := range uGrid(cfg.Quick) {
-			violations, count := 0, 0
-			maxR, sumR := 0.0, 0.0
-			for trial := 0; trial < cfg.Trials; trial++ {
-				p := workload.DefaultTaskSetParams(4, u)
-				p.DeadlineRatioMin = 0.8
-				p.PeriodMin, p.PeriodMax = 50, 1_500
-				ts := workload.TaskSet(rng, p)
-				var bounds []sched.Ticks
-				var pol cpusim.Policy
-				if mode == "preemptive" {
-					bounds = sched.ResponseTimesEDFPreemptive(ts, sched.EDFOptions{})
-					pol = cpusim.EDFPreemptive
-				} else {
-					bounds = sched.ResponseTimesEDFNonPreemptive(ts, sched.EDFOptions{})
-					pol = cpusim.EDFNonPreemptive
-				}
-				worst := simWorst(ts, pol, rng)
-				for i := range ts {
-					if bounds[i] == timeunit.MaxTicks {
-						continue
-					}
-					count++
-					r := float64(worst[i]) / float64(bounds[i])
-					if worst[i] > bounds[i] {
-						violations++
-					}
-					if r > maxR {
-						maxR = r
-					}
-					sumR += r
-				}
-			}
-			mean := 0.0
-			if count > 0 {
-				mean = sumR / float64(count)
-			}
-			t.AddRow(mode, fmt.Sprintf("%.1f", u), violations,
-				fmt.Sprintf("%.3f", maxR), fmt.Sprintf("%.3f", mean))
+			cells = append(cells, cell{mode, u})
 		}
 	}
+	rows := make([][]any, len(cells))
+	forEachCell(cfg, "E5", len(cells), func(ci int, rng *rand.Rand) {
+		c := cells[ci]
+		violations, count := 0, 0
+		maxR, sumR := 0.0, 0.0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			p := workload.DefaultTaskSetParams(4, c.u)
+			p.DeadlineRatioMin = 0.8
+			p.PeriodMin, p.PeriodMax = 50, 1_500
+			ts := workload.TaskSet(rng, p)
+			var bounds []sched.Ticks
+			var pol cpusim.Policy
+			if c.mode == "preemptive" {
+				bounds = sched.ResponseTimesEDFPreemptive(ts, sched.EDFOptions{})
+				pol = cpusim.EDFPreemptive
+			} else {
+				bounds = sched.ResponseTimesEDFNonPreemptive(ts, sched.EDFOptions{})
+				pol = cpusim.EDFNonPreemptive
+			}
+			worst := simWorst(ts, pol, rng)
+			for i := range ts {
+				if bounds[i] == timeunit.MaxTicks {
+					continue
+				}
+				count++
+				r := float64(worst[i]) / float64(bounds[i])
+				if worst[i] > bounds[i] {
+					violations++
+				}
+				if r > maxR {
+					maxR = r
+				}
+				sumR += r
+			}
+		}
+		mean := 0.0
+		if count > 0 {
+			mean = sumR / float64(count)
+		}
+		rows[ci] = []any{c.mode, fmt.Sprintf("%.1f", c.u), violations,
+			fmt.Sprintf("%.3f", maxR), fmt.Sprintf("%.3f", mean)}
+	})
+	addRows(t, rows)
 	return []*stats.Table{t}
 }

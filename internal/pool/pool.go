@@ -1,0 +1,76 @@
+// Package pool provides the bounded index-fan-out used by the parallel
+// evaluation layers (the experiment cell-job harness and AnalyzeBatch):
+// n independent jobs identified by index, executed by a fixed number of
+// workers pulling from an atomic counter. Callers own determinism —
+// each job must write only to state keyed by its own index.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run evaluates fn(i) for every i in [0, n) on at most workers
+// goroutines and blocks until all jobs finish. workers <= 0 means
+// runtime.GOMAXPROCS(0) — the shared default behind every Parallelism
+// knob. workers == 1 (or clamping to n == 1) degenerates to a plain
+// sequential loop on the calling goroutine, so "Parallelism: 1" costs
+// nothing over the pre-parallel code path. A panic in fn stops the
+// pool (remaining jobs are skipped) and is re-raised on the calling
+// goroutine with its original value, matching sequential semantics:
+// the experiment drivers panic on substrate errors, and that must
+// stay recoverable by the caller at any worker count. (The re-raise
+// trades away the worker's stack trace; the failing cell is best
+// located by re-running with Parallelism: 1.)
+func Run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var stopped atomic.Bool
+	var panicMu sync.Mutex
+	var panicVal any
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stopped.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							stopped.Store(true)
+							panicMu.Lock()
+							if panicVal == nil {
+								panicVal = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -1,0 +1,63 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 8, 100} {
+		const n = 57
+		visits := make([]int32, n)
+		Run(workers, n, func(i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	called := false
+	Run(4, 0, func(int) { called = true })
+	Run(4, -3, func(int) { called = true })
+	if called {
+		t.Error("fn called for empty job set")
+	}
+}
+
+func TestRunRepanicsOnCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			Run(workers, 16, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+			})
+			t.Errorf("workers=%d: Run returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestRunSequentialOnCallingGoroutine(t *testing.T) {
+	// workers <= 1 must preserve index order (the sequential guarantee
+	// forEachCell's contract documents).
+	var order []int
+	Run(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d jobs, want 5", len(order))
+	}
+}

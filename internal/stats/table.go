@@ -4,10 +4,18 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Table is a simple rectangular result table used by the experiment
 // harness. Cells are pre-formatted strings; the renderers only align.
+// Row assembly is safe for concurrent producers: AddRow may be called
+// from multiple goroutines, and callers needing a deterministic row
+// order must serialise or reassemble themselves (the parallel
+// experiment harness buffers per-cell rows and appends them serially
+// to keep grid order). Title, Note and Header are NOT synchronised:
+// set them on one goroutine before or after assembly, and do not
+// render while they may still change.
 type Table struct {
 	// Title identifies the table (e.g. "E7: FCFS bound vs simulation").
 	Title string
@@ -15,7 +23,9 @@ type Table struct {
 	Note string
 	// Header holds the column names.
 	Header []string
-	rows   [][]string
+
+	mu   sync.Mutex
+	rows [][]string
 }
 
 // NewTable creates a table with the given title and column header.
@@ -39,24 +49,40 @@ func (t *Table) AddRow(cells ...any) {
 			row[i] = fmt.Sprintf("%v", v)
 		}
 	}
+	t.mu.Lock()
 	t.rows = append(t.rows, row)
+	t.mu.Unlock()
 }
 
 // NumRows returns the number of data rows.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.rows)
+}
 
 // Row returns a copy of row i.
 func (t *Table) Row(i int) []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return append([]string(nil), t.rows[i]...)
 }
 
+// snapshot returns the current rows; the renderers iterate over it so
+// a concurrent AddRow cannot race with rendering.
+func (t *Table) snapshot() [][]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([][]string(nil), t.rows...)
+}
+
 // widths computes per-column display widths.
-func (t *Table) widths() []int {
-	w := make([]int, len(t.Header))
-	for i, h := range t.Header {
+func widths(header []string, rows [][]string) []int {
+	w := make([]int, len(header))
+	for i, h := range header {
 		w[i] = len(h)
 	}
-	for _, r := range t.rows {
+	for _, r := range rows {
 		for i, c := range r {
 			if i < len(w) && len(c) > w[i] {
 				w[i] = len(c)
@@ -68,7 +94,8 @@ func (t *Table) widths() []int {
 
 // WritePlain renders an aligned fixed-width text table.
 func (t *Table) WritePlain(w io.Writer) error {
-	ws := t.widths()
+	rows := t.snapshot()
+	ws := widths(t.Header, rows)
 	if t.Title != "" {
 		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
 			return err
@@ -101,7 +128,7 @@ func (t *Table) WritePlain(w io.Writer) error {
 	if err := line(sep); err != nil {
 		return err
 	}
-	for _, r := range t.rows {
+	for _, r := range rows {
 		if err := line(r); err != nil {
 			return err
 		}
@@ -132,7 +159,7 @@ func (t *Table) WriteMarkdown(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(sep, "|")); err != nil {
 		return err
 	}
-	for _, r := range t.rows {
+	for _, r := range t.snapshot() {
 		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | ")); err != nil {
 			return err
 		}
@@ -149,7 +176,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		}
 		return s
 	}
-	rows := append([][]string{t.Header}, t.rows...)
+	rows := append([][]string{t.Header}, t.snapshot()...)
 	for _, r := range rows {
 		cells := make([]string, len(r))
 		for i, c := range r {
