@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench fuzz-smoke
 
-ci: fmt vet build race
+ci: fmt vet build race fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -29,3 +29,12 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkAllExperiments|BenchmarkAnalyzeBatch' -benchmem .
+
+# Short fuzzing smoke pass: the checked-in seed corpus already runs in
+# `make race`; this additionally lets each fuzzer mutate for a few
+# seconds so trivially reachable crashes surface in the gate.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/configfile
+	$(GO) test -run '^$$' -fuzz '^FuzzParseTopology$$' -fuzztime 5s ./internal/configfile
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime 3s ./internal/configfile
+	$(GO) test -run '^$$' -fuzz '^FuzzNetworkValidate$$' -fuzztime 5s ./internal/core

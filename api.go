@@ -2,7 +2,6 @@ package profirt
 
 import (
 	"context"
-	"fmt"
 
 	"profirt/internal/ap"
 	"profirt/internal/core"
@@ -13,6 +12,7 @@ import (
 	"profirt/internal/profibus"
 	"profirt/internal/sched"
 	"profirt/internal/timeunit"
+	"profirt/internal/topology"
 )
 
 // Ticks is the integer time base: one tick is one bit time at the
@@ -117,6 +117,18 @@ type (
 	SimResult = profibus.Result
 	// QueuePolicy selects the AP dispatcher (FCFS/DM/EDF).
 	QueuePolicy = ap.Policy
+	// SimJitterMode selects the release-jitter realisation.
+	SimJitterMode = profibus.JitterMode
+)
+
+// Release-jitter realisations for SimConfig.Jitter.
+const (
+	// SimJitterNone releases at nominal instants.
+	SimJitterNone = profibus.JitterNone
+	// SimJitterRandom delays readiness uniformly in [0, J].
+	SimJitterRandom = profibus.JitterRandom
+	// SimJitterAdversarial delays only the first release by the full J.
+	SimJitterAdversarial = profibus.JitterAdversarial
 )
 
 // AP dispatching policies for SimMasterConfig.Dispatcher.
@@ -179,6 +191,52 @@ type (
 // AnalyzeHolistic solves the coupled task/message/delivery fixed point.
 var AnalyzeHolistic = holistic.Analyze
 
+// Multi-segment topologies: several token rings coupled by
+// store-and-forward bridges that relay selected streams across rings
+// (see internal/topology for the model).
+type (
+	// Topology is a bridged multi-segment installation under analysis.
+	Topology = topology.Topology
+	// TopologySegment is one analysed ring (core.Network + dispatcher).
+	TopologySegment = topology.Segment
+	// Bridge is a store-and-forward link between two segments.
+	Bridge = topology.Bridge
+	// Relay forwards one high-priority stream across a bridge.
+	Relay = topology.Relay
+	// TopologyOptions tunes AnalyzeTopology.
+	TopologyOptions = topology.Options
+	// TopologyResult carries per-segment verdicts and per-relay
+	// end-to-end bounds.
+	TopologyResult = topology.Result
+	// TopologySegmentReport is one segment's analytic outcome.
+	TopologySegmentReport = topology.SegmentReport
+	// TopologyRelayReport is one relay's end-to-end outcome.
+	TopologyRelayReport = topology.RelayReport
+	// SimTopology is a bridged multi-segment installation under
+	// simulation.
+	SimTopology = topology.SimTopology
+	// SimTopologySegment is one simulated ring (profibus.Config).
+	SimTopologySegment = topology.SimSegment
+	// TopologySimOptions tunes SimulateTopology.
+	TopologySimOptions = topology.SimOptions
+	// TopologySimResult is the sharded simulation outcome.
+	TopologySimResult = topology.SimResult
+	// RelaySimStats aggregates one relay's observed end-to-end delays.
+	RelaySimStats = topology.RelaySimStats
+)
+
+// Topology entry points.
+var (
+	// AnalyzeTopology composes the per-segment analyses across bridges
+	// by jitter inheritance, yielding per-segment DM/EDF/FCFS verdicts
+	// and origin-anchored end-to-end bounds per relay.
+	AnalyzeTopology = topology.Analyze
+	// SimulateTopology shards the simulator per segment on the shared
+	// worker pool, exchanging relayed releases at bridge points;
+	// results are byte-identical at any parallelism.
+	SimulateTopology = topology.Simulate
+)
+
 // BatchOptions tunes AnalyzeBatch.
 type BatchOptions struct {
 	// Parallelism bounds the worker pool. 0 means
@@ -192,6 +250,10 @@ type BatchOptions struct {
 	DM DMMessageOptions
 	// EDF tunes the Eqs. 17–18 analysis applied to every network.
 	EDF EDFMessageOptions
+	// MaxIterations caps the cross-segment jitter fixed point used by
+	// AnalyzeTopologyBatch (0 means the topology default of 64);
+	// AnalyzeBatch ignores it.
+	MaxIterations int
 }
 
 // PolicyVerdict is one dispatching policy's outcome for one network.
@@ -244,29 +306,54 @@ func AnalyzeBatch(nets []Network, opts BatchOptions) []BatchResult {
 	return out
 }
 
+// TopologyBatchResult is AnalyzeTopologyBatch's outcome for one
+// topology.
+type TopologyBatchResult struct {
+	// Index is the topology's position in the input slice.
+	Index int
+	// Skipped marks topologies left unevaluated after cancellation.
+	Skipped bool
+	// Err reports a structurally invalid topology; Result is zero then.
+	Err error
+	// Result is the analysis outcome.
+	Result TopologyResult
+}
+
+// AnalyzeTopologyBatch extends AnalyzeBatch to segment-topology sweeps:
+// it evaluates AnalyzeTopology for many bridged multi-segment
+// configurations concurrently on the same bounded worker pool, with the
+// same ordering, determinism and cancellation contract. The DM/EDF
+// option fields tune the per-segment analyses; MaxIterations caps each
+// topology's cross-segment fixed point.
+func AnalyzeTopologyBatch(tops []Topology, opts BatchOptions) []TopologyBatchResult {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	topts := topology.Options{DM: opts.DM, EDF: opts.EDF, MaxIterations: opts.MaxIterations}
+	out := make([]TopologyBatchResult, len(tops))
+	analyze := func(i int) {
+		r := TopologyBatchResult{Index: i}
+		if ctx.Err() != nil {
+			r.Skipped = true
+			out[i] = r
+			return
+		}
+		r.Result, r.Err = topology.Analyze(tops[i], topts)
+		out[i] = r
+	}
+	pool.Run(opts.Parallelism, len(tops), analyze)
+	return out
+}
+
 // NetworkFromSimConfig derives the analytic model (Network) from a
 // simulator configuration, so one description drives both analysis and
 // simulation: worst-case message-cycle lengths C_hi are computed from
 // the configured frame payloads, station delays and retry budget, and
 // low-priority streams contribute the master's Cl term.
-func NetworkFromSimConfig(cfg SimConfig) Network {
-	net := Network{TTR: cfg.TTR, TokenPass: cfg.Bus.TokenPassTicks()}
-	if cfg.GapFactor > 0 {
-		net.GapPoll = cfg.Bus.WorstGapPollTicks()
-	}
-	for _, mc := range cfg.Masters {
-		m := Master{Name: fmt.Sprintf("M%d", mc.Addr)}
-		for _, sc := range mc.Streams {
-			ch := sc.WorstCycleTicks(mc.Addr, cfg.Bus)
-			if sc.High {
-				m.High = append(m.High, Stream{
-					Name: sc.Name, Ch: ch, D: sc.Deadline, T: sc.Period, J: sc.Jitter,
-				})
-			} else if ch > m.LongestLow {
-				m.LongestLow = ch
-			}
-		}
-		net.Masters = append(net.Masters, m)
-	}
-	return net
-}
+var NetworkFromSimConfig = topology.NetworkFromSimConfig
+
+// TopologyFromSimTopology derives the analytic topology from a
+// simulated one (NetworkFromSimConfig per segment; each segment's
+// analysis dispatcher comes from its first master).
+var TopologyFromSimTopology = topology.FromSim

@@ -169,6 +169,110 @@ func TestAnalyzeBatchEmpty(t *testing.T) {
 	}
 }
 
+// demoTopology couples two copies of the demo network through one
+// bridge relaying master 1's "loop" stream onto the second ring.
+func demoTopology(relayDeadline profirt.Ticks) profirt.SimTopology {
+	east := demoConfig()
+	east.Masters[0].Streams[0].Name = "relayin"
+	east.Masters[0].Streams[0].Deadline = relayDeadline
+	return profirt.SimTopology{
+		Seed: 11,
+		Segments: []profirt.SimTopologySegment{
+			{Name: "west", Cfg: demoConfig()},
+			{Name: "east", Cfg: east},
+		},
+		Bridges: []profirt.Bridge{{
+			Name: "wb", From: "west", To: "east", Latency: 700,
+			Relays: []profirt.Relay{{
+				Name: "loop-relay", FromStream: "loop", ToStream: "relayin", Deadline: relayDeadline,
+			}},
+		}},
+	}
+}
+
+func TestFacadeTopology(t *testing.T) {
+	st := demoTopology(60_000)
+	top := profirt.TopologyFromSimTopology(st)
+	ana, err := profirt.AnalyzeTopology(top, profirt.TopologyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ana.Converged || !ana.Schedulable {
+		t.Fatalf("demo topology should be schedulable: %+v", ana)
+	}
+	sim, err := profirt.SimulateTopology(st, profirt.TopologySimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Converged {
+		t.Fatalf("simulation did not converge in %d rounds", sim.Rounds)
+	}
+	if sim.Relays[0].Relayed == 0 || sim.Relays[0].Missed != 0 {
+		t.Errorf("relay observed %+v, want traffic with no misses", sim.Relays[0])
+	}
+	if sim.Relays[0].WorstEndToEnd > ana.Relays[0].EndToEnd {
+		t.Errorf("observed end-to-end %v exceeds analytic bound %v",
+			sim.Relays[0].WorstEndToEnd, ana.Relays[0].EndToEnd)
+	}
+}
+
+// batchTopologies sweeps the relay deadline so the batch holds a mix of
+// schedulable and unschedulable entries plus one invalid topology.
+func batchTopologies() []profirt.Topology {
+	var tops []profirt.Topology
+	for _, d := range []profirt.Ticks{100, 5_000, 20_000, 60_000, 120_000} {
+		tops = append(tops, profirt.TopologyFromSimTopology(demoTopology(d)))
+	}
+	bad := profirt.TopologyFromSimTopology(demoTopology(60_000))
+	bad.Bridges[0].To = "nowhere"
+	return append(tops, bad)
+}
+
+func TestAnalyzeTopologyBatchMatchesIndividual(t *testing.T) {
+	tops := batchTopologies()
+	got := profirt.AnalyzeTopologyBatch(tops, profirt.BatchOptions{Parallelism: 4})
+	if len(got) != len(tops) {
+		t.Fatalf("results = %d, want %d", len(got), len(tops))
+	}
+	for i, r := range got {
+		if r.Index != i {
+			t.Errorf("result %d carries index %d", i, r.Index)
+		}
+		if r.Skipped {
+			t.Errorf("result %d skipped without cancellation", i)
+		}
+		want, wantErr := profirt.AnalyzeTopology(tops[i], profirt.TopologyOptions{})
+		if (r.Err == nil) != (wantErr == nil) {
+			t.Errorf("topology %d: batch err %v, individual err %v", i, r.Err, wantErr)
+		}
+		if !reflect.DeepEqual(r.Result, want) {
+			t.Errorf("topology %d: batch result diverges from AnalyzeTopology", i)
+		}
+	}
+	if got[len(got)-1].Err == nil {
+		t.Error("invalid topology produced no error")
+	}
+	if got[0].Result.Schedulable || !got[3].Result.Schedulable {
+		t.Error("sweep should contain both verdicts")
+	}
+}
+
+func TestAnalyzeTopologyBatchDeterministicAndCancelable(t *testing.T) {
+	tops := batchTopologies()
+	seq := profirt.AnalyzeTopologyBatch(tops, profirt.BatchOptions{Parallelism: 1})
+	par := profirt.AnalyzeTopologyBatch(tops, profirt.BatchOptions{Parallelism: 8})
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("sequential and 8-worker topology batches disagree")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, r := range profirt.AnalyzeTopologyBatch(tops, profirt.BatchOptions{Context: ctx}) {
+		if !r.Skipped {
+			t.Errorf("topology %d evaluated despite cancelled context", i)
+		}
+	}
+}
+
 func TestFacadeEndToEndComposition(t *testing.T) {
 	// R = 500 covers Q + C, so Q = 500 − 200 = 300 and
 	// E = g + Q + C + d = 100 + 300 + 200 + 50 = 650.

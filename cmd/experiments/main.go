@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -18,21 +20,34 @@ import (
 )
 
 func main() {
-	id := flag.String("id", "", "run a single experiment (e.g. E7); default all")
-	quick := flag.Bool("quick", false, "reduced grids and trial counts")
-	trials := flag.Int("trials", 0, "override trials per grid cell")
-	seed := flag.Int64("seed", 1, "random seed (tables are reproducible per seed)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against explicit argument and output streams so
+// the golden-output test can pin the exact bytes a release prints.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	id := fs.String("id", "", "run a single experiment (e.g. E7); default all")
+	quick := fs.Bool("quick", false, "reduced grids and trial counts")
+	trials := fs.Int("trials", 0, "override trials per grid cell")
+	seed := fs.Int64("seed", 1, "random seed (tables are reproducible per seed)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"grid-cell worker pool size (1 = sequential; tables are identical either way)")
-	format := flag.String("format", "md", "output format: plain, md or csv")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+	format := fs.String("format", "md", "output format: plain, md or csv")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-4s %-28s %s\n", e.ID, e.Anchor, e.Title)
+			fmt.Fprintf(stdout, "%-4s %-28s %s\n", e.ID, e.Anchor, e.Title)
 		}
-		return
+		return 0
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -49,8 +64,8 @@ func main() {
 	if *id != "" {
 		e, ok := experiments.ByID(*id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *id)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "experiments: unknown id %q (use -list)\n", *id)
+			return 2
 		}
 		toRun = []experiments.Experiment{e}
 	} else {
@@ -58,25 +73,26 @@ func main() {
 	}
 
 	for _, e := range toRun {
-		fmt.Printf("## %s — %s (%s)\n\n", e.ID, e.Title, e.Anchor)
+		fmt.Fprintf(stdout, "## %s — %s (%s)\n\n", e.ID, e.Title, e.Anchor)
 		for _, t := range e.Run(cfg) {
-			if err := render(t, *format); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+			if err := render(stdout, t, *format); err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+				return 1
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 	}
+	return 0
 }
 
-func render(t *stats.Table, format string) error {
+func render(w io.Writer, t *stats.Table, format string) error {
 	switch format {
 	case "plain":
-		return t.WritePlain(os.Stdout)
+		return t.WritePlain(w)
 	case "md":
-		return t.WriteMarkdown(os.Stdout)
+		return t.WriteMarkdown(w)
 	case "csv":
-		return t.WriteCSV(os.Stdout)
+		return t.WriteCSV(w)
 	default:
 		return fmt.Errorf("unknown format %q", format)
 	}

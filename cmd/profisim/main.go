@@ -2,9 +2,16 @@
 // file and reports per-stream response-time statistics alongside the
 // analytic bounds, so analysis pessimism is visible at a glance.
 //
+// With -topology the file describes a bridged multi-segment
+// installation instead: every segment is simulated as its own shard on
+// a worker pool, relayed releases are exchanged at the bridges, and the
+// report adds per-relay end-to-end observations against the composed
+// analytic bounds.
+//
 // Usage:
 //
 //	profisim [-horizon N] [-seed N] [-format plain|md|csv] network.json
+//	profisim -topology [-parallel N] [-seed N] [-format plain|md|csv] topology.json
 package main
 
 import (
@@ -16,14 +23,18 @@ import (
 	"profirt/internal/core"
 	"profirt/internal/profibus"
 	"profirt/internal/stats"
+	"profirt/internal/topology"
 )
 
 func main() {
+	topo := flag.Bool("topology", false, "treat the file as a bridged multi-segment topology")
 	horizon := flag.Int64("horizon", 0, "override simulation horizon (bit times)")
 	seed := flag.Int64("seed", -1, "override random seed")
+	parallel := flag.Int("parallel", 0, "segment worker pool size for -topology (0 = GOMAXPROCS)")
 	format := flag.String("format", "plain", "output format: plain, md or csv")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: profisim [flags] network.json\n")
+		fmt.Fprintf(os.Stderr, "       profisim -topology [flags] topology.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -31,29 +42,66 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	net, cfg, err := configfile.Load(flag.Arg(0))
+	var tables []*stats.Table
+	var err error
+	if *topo {
+		tables, err = runTopology(flag.Arg(0), *horizon, *seed, *parallel)
+	} else {
+		tables, err = runSingle(flag.Arg(0), *horizon, *seed)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "profisim: %v\n", err)
 		os.Exit(1)
 	}
-	if *horizon > 0 {
-		cfg.Horizon = core.Ticks(*horizon)
-	}
-	if *seed >= 0 {
-		cfg.Seed = *seed
-	}
-	res, err := profibus.Simulate(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "profisim: %v\n", err)
-		os.Exit(1)
-	}
-	for _, t := range report(net, cfg, res) {
+	for _, t := range tables {
 		if err := render(t, *format); err != nil {
 			fmt.Fprintf(os.Stderr, "profisim: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
+}
+
+func runSingle(path string, horizon, seed int64) ([]*stats.Table, error) {
+	net, cfg, err := configfile.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if horizon > 0 {
+		cfg.Horizon = core.Ticks(horizon)
+	}
+	if seed >= 0 {
+		cfg.Seed = seed
+	}
+	res, err := profibus.Simulate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return report(net, cfg, res), nil
+}
+
+func runTopology(path string, horizon, seed int64, parallel int) ([]*stats.Table, error) {
+	top, sim, err := configfile.LoadTopology(path)
+	if err != nil {
+		return nil, err
+	}
+	if horizon > 0 {
+		for i := range sim.Segments {
+			sim.Segments[i].Cfg.Horizon = core.Ticks(horizon)
+		}
+	}
+	if seed >= 0 {
+		sim.Seed = seed
+	}
+	ana, err := topology.Analyze(top, topology.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := topology.Simulate(sim, topology.SimOptions{Parallelism: parallel})
+	if err != nil {
+		return nil, err
+	}
+	return topologyReport(top, sim, ana, res), nil
 }
 
 func report(net core.Network, cfg profibus.Config, res profibus.Result) []*stats.Table {
@@ -75,6 +123,47 @@ func report(net core.Network, cfg profibus.Config, res profibus.Result) []*stats
 		}
 	}
 	return []*stats.Table{ring, streams}
+}
+
+// topologyReport renders one summary table per segment plus the
+// bridge-level end-to-end comparison.
+func topologyReport(top topology.Topology, sim topology.SimTopology, ana topology.Result, res topology.SimResult) []*stats.Table {
+	var out []*stats.Table
+	for i, seg := range res.Segments {
+		rep := ana.Segments[i]
+		t := stats.NewTable(fmt.Sprintf("Segment %s (%v)", seg.Name, rep.Policy),
+			"master", "stream", "released", "completed", "missed", "worst resp", "analytic R", "D", "ok")
+		vi := 0
+		cfg := sim.Segments[i].Cfg
+		for mi, m := range seg.Result.PerMaster {
+			for si, st := range m.PerStream {
+				sc := cfg.Masters[mi].Streams[si]
+				if !sc.High {
+					t.AddRow(cfg.Masters[mi].Addr, sc.Name, st.Released, st.Completed,
+						st.Missed, st.WorstResponse, "-", "-", "-")
+					continue
+				}
+				v := rep.Verdicts[vi]
+				vi++
+				t.AddRow(cfg.Masters[mi].Addr, sc.Name, st.Released, st.Completed,
+					st.Missed, st.WorstResponse, v.R, v.D, v.OK)
+			}
+		}
+		t.Note = fmt.Sprintf("analytic T_cycle bound: %v; horizon %v; rounds %d; converged %v",
+			rep.TokenCycle, cfg.Horizon, res.Rounds, res.Converged)
+		out = append(out, t)
+	}
+	relays := stats.NewTable("Bridge relays (end-to-end)",
+		"bridge", "relay", "relayed", "completed", "missed", "worst E2E", "mean E2E", "analytic E2E", "deadline", "ok")
+	for i, r := range res.Relays {
+		a := ana.Relays[i]
+		relays.AddRow(r.Bridge, r.Name, r.Relayed, r.Completed, r.Missed,
+			r.WorstEndToEnd, fmt.Sprintf("%.0f", r.MeanEndToEnd()), a.EndToEnd, a.Deadline, a.OK)
+	}
+	if len(res.Relays) > 0 {
+		out = append(out, relays)
+	}
+	return out
 }
 
 func render(t *stats.Table, format string) error {

@@ -22,7 +22,29 @@
 //     pool (experiments.Config.Parallelism, default GOMAXPROCS) with
 //     per-cell deterministic RNG seeding, so tables are byte-identical
 //     at any parallelism; AnalyzeBatch offers the same concurrent,
-//     cancellable evaluation for the message-level analyses.
+//     cancellable evaluation for the message-level analyses;
+//   - multi-segment topologies: several token rings coupled by
+//     store-and-forward bridges that relay selected high-priority
+//     streams across rings. A relayed stream inherits its source's
+//     period, and its release jitter is the source's response bound
+//     plus the bridge latency (the paper's Sec. 4.1 jitter-inheritance
+//     model applied across rings), so the target's jitter-inclusive
+//     bound is an origin-anchored end-to-end bound. AnalyzeTopology
+//     solves that composition as a fixed point over the (validated
+//     acyclic) relay graph; SimulateTopology shards the simulator per
+//     segment on the shared worker pool, exchanging relayed releases
+//     at bridge points between rounds, with per-segment derived seeds
+//     so results are byte-identical at any parallelism;
+//     AnalyzeTopologyBatch sweeps whole topologies concurrently.
+//
+// Bridge semantics: a bridge watches one high-priority stream on its
+// source ring; every successfully completed cycle of that stream
+// releases one request of the designated stream on the destination
+// ring, Latency bit times later. The destination stream's own periodic
+// release pattern is replaced by the relayed one, and each relay
+// carries an end-to-end deadline anchored at the nominal release of the
+// chain's origin stream. Relay chains may span any number of rings but
+// must be acyclic.
 //
 // This root package is a facade: it re-exports the library's primary
 // types and entry points so downstream users need a single import. The

@@ -1,0 +1,73 @@
+package configfile
+
+import (
+	"strings"
+	"testing"
+)
+
+const topologyJSON = `{
+	"seed": 7,
+	"horizon": 400000,
+	"segments": [
+		{"name": "west", "network": {
+			"ttr": 2000,
+			"masters": [{"addr": 1, "dispatcher": "dm", "streams": [
+				{"name": "sensor", "slave": 30, "high": true, "period": 20000, "deadline": 20000, "reqBytes": 4, "respBytes": 4}
+			]}],
+			"slaves": [{"addr": 30, "tsdr": 30}]
+		}},
+		{"name": "east", "network": {
+			"ttr": 2000,
+			"masters": [{"addr": 1, "dispatcher": "edf", "streams": [
+				{"name": "relayin", "slave": 30, "high": true, "period": 20000, "deadline": 30000, "reqBytes": 4, "respBytes": 4}
+			]}],
+			"slaves": [{"addr": 30, "tsdr": 30}]
+		}}
+	],
+	"bridges": [
+		{"name": "wb", "from": "west", "to": "east", "latency": 500, "relays": [
+			{"name": "r", "fromStream": "sensor", "toStream": "relayin", "deadline": 30000}
+		]}
+	]
+}`
+
+func TestParseTopology(t *testing.T) {
+	top, sim, err := ParseTopology([]byte(topologyJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Segments) != 2 || len(sim.Segments) != 2 {
+		t.Fatalf("segments = %d/%d, want 2/2", len(top.Segments), len(sim.Segments))
+	}
+	if sim.Seed != 7 {
+		t.Errorf("seed = %d, want 7", sim.Seed)
+	}
+	for _, s := range sim.Segments {
+		if s.Cfg.Horizon != 400_000 {
+			t.Errorf("segment %q horizon = %v, want the top-level override 400000", s.Name, s.Cfg.Horizon)
+		}
+	}
+	if top.Segments[1].Dispatcher.String() != "EDF" {
+		t.Errorf("east dispatcher = %v, want EDF", top.Segments[1].Dispatcher)
+	}
+	if len(top.Bridges) != 1 || top.Bridges[0].Relays[0].ToStream != "relayin" {
+		t.Errorf("bridges not carried over: %+v", top.Bridges)
+	}
+}
+
+func TestParseTopologyRejects(t *testing.T) {
+	bad := strings.Replace(topologyJSON, `"to": "east"`, `"to": "nowhere"`, 1)
+	if _, _, err := ParseTopology([]byte(bad)); err == nil ||
+		!strings.Contains(err.Error(), "unknown segment") {
+		t.Errorf("unknown segment not rejected: %v", err)
+	}
+	bad = strings.Replace(topologyJSON, `"seed": 7`, `"sneed": 7`, 1)
+	if _, _, err := ParseTopology([]byte(bad)); err == nil {
+		t.Error("unknown top-level field not rejected")
+	}
+	bad = strings.Replace(topologyJSON, `"ttr": 2000,`, `"ttr": 0,`, 1)
+	if _, _, err := ParseTopology([]byte(bad)); err == nil ||
+		!strings.Contains(err.Error(), "segment") {
+		t.Errorf("invalid embedded network not attributed to its segment: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+)
+
+// fuzzNetwork decodes the fuzzer's flat argument tuple into a Network:
+// up to three masters whose stream attributes are mixed from the raw
+// inputs so the fuzzer can reach negative, zero and huge values in
+// every field.
+func fuzzNetwork(ttr, tokenPass, gapPoll, ch, d, tp, j, low int64, nMasters, nStreams uint8) Network {
+	n := Network{
+		TTR:       Ticks(ttr),
+		TokenPass: Ticks(tokenPass),
+		GapPoll:   Ticks(gapPoll),
+	}
+	for mi := 0; mi < int(nMasters%4); mi++ {
+		m := Master{Name: "m", LongestLow: Ticks(low >> uint(mi))}
+		for si := 0; si < int(nStreams%4); si++ {
+			shift := uint(mi + si)
+			m.High = append(m.High, Stream{
+				Name: "s",
+				Ch:   Ticks(ch >> shift),
+				D:    Ticks(d >> shift),
+				T:    Ticks(tp >> shift),
+				J:    Ticks(j >> shift),
+			})
+		}
+		n.Masters = append(n.Masters, m)
+	}
+	return n
+}
+
+// FuzzNetworkValidate checks the validation contract the analytic layer
+// rests on: Validate never panics, and any network it accepts can be
+// fed to the token-lateness bounds without panics, negative results, or
+// a refined bound exceeding the coarse one (the refinement must only
+// ever tighten Eq. 13). Run the full fuzzer with
+//
+//	go test -run '^$' -fuzz '^FuzzNetworkValidate$' ./internal/core
+func FuzzNetworkValidate(f *testing.F) {
+	f.Add(int64(2000), int64(77), int64(0), int64(400), int64(15000), int64(20000), int64(0), int64(600), uint8(2), uint8(2))
+	f.Add(int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), int64(0), uint8(0), uint8(0))
+	f.Add(int64(1), int64(-1), int64(5), int64(1), int64(1), int64(1), int64(-7), int64(-3), uint8(3), uint8(3))
+	f.Add(int64(1)<<62, int64(1)<<61, int64(1)<<60, int64(1)<<59, int64(1)<<58, int64(1)<<57, int64(1)<<56, int64(1)<<55, uint8(3), uint8(1))
+	f.Add(int64(100), int64(0), int64(0), int64(350), int64(900), int64(1000), int64(50), int64(0), uint8(1), uint8(3))
+	f.Fuzz(func(t *testing.T, ttr, tokenPass, gapPoll, ch, d, tp, j, low int64, nMasters, nStreams uint8) {
+		n := fuzzNetwork(ttr, tokenPass, gapPoll, ch, d, tp, j, low, nMasters, nStreams)
+		if err := n.Validate(); err != nil {
+			return
+		}
+		tdel := n.TokenDelay()
+		refined := n.RefinedTokenDelay()
+		if tdel < 0 || refined < 0 {
+			t.Fatalf("negative token delay: coarse %v refined %v for %+v", tdel, refined, n)
+		}
+		if refined > tdel {
+			t.Fatalf("refined token delay %v exceeds coarse bound %v for %+v", refined, tdel, n)
+		}
+		if tc := n.TokenCycle(); tc < n.TTR {
+			t.Fatalf("token cycle %v below TTR %v (saturation broke monotonicity) for %+v", tc, n.TTR, n)
+		}
+		// The FCFS bound must be monotone in the token cycle and usable
+		// on any validated network.
+		for _, m := range n.Masters {
+			if r := FCFSResponseTime(m, n.TokenCycle()); r < 0 {
+				t.Fatalf("negative FCFS response %v for %+v", r, m)
+			}
+		}
+	})
+}

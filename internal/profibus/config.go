@@ -59,6 +59,18 @@ type StreamConfig struct {
 	// determining the frame lengths.
 	ReqBytes  int
 	RespBytes int
+	// Releases, when non-nil, replaces the periodic release pattern with
+	// an explicit sorted list of release instants (the topology
+	// simulator injects bridge-relayed requests this way). Explicit
+	// releases carry real arrival instants, so Offset and Jitter are
+	// ignored; Period and Deadline still describe the stream for
+	// validation, dispatching and deadline accounting. An empty non-nil
+	// slice means the stream releases nothing.
+	Releases []Ticks
+	// Trace enables this stream's per-cycle trace even when the global
+	// Config.RecordTrace is off; the topology simulator traces only
+	// bridge-relay endpoints this way.
+	Trace bool
 }
 
 // Frames builds the stream's action/response frame pair.
@@ -136,6 +148,12 @@ type Config struct {
 	// disables GAP maintenance. The overhead is part of the paper's
 	// footnote-7 τ term; core.Network.GapCycle models it analytically.
 	GapFactor int
+	// RecordTrace enables cycle traces for every stream
+	// (StreamStats.Trace): one record per terminated cycle —
+	// successful or abandoned after all retries — in termination
+	// order. StreamConfig.Trace enables the same per stream; plain
+	// runs leave both off to avoid the allocation.
+	RecordTrace bool
 }
 
 // Validate checks structural consistency.
@@ -190,9 +208,30 @@ func (c Config) Validate() error {
 			if !slaves[st.Slave] {
 				return fmt.Errorf("profibus: stream %q references unknown slave %d", st.Name, st.Slave)
 			}
+			for i, rel := range st.Releases {
+				if rel < 0 {
+					return fmt.Errorf("profibus: stream %q has negative explicit release", st.Name)
+				}
+				if i > 0 && rel < st.Releases[i-1] {
+					return fmt.Errorf("profibus: stream %q explicit releases not sorted", st.Name)
+				}
+			}
 		}
 	}
 	return nil
+}
+
+// CompletionRecord is one terminated message cycle in a stream's trace
+// (Config.RecordTrace).
+type CompletionRecord struct {
+	// Release is the request's nominal release instant.
+	Release Ticks
+	// Completed is the instant the cycle terminated: successful
+	// completion, or abandonment of the last allowed retry.
+	Completed Ticks
+	// Failed marks a cycle abandoned after all retries (no response
+	// was ever delivered).
+	Failed bool
 }
 
 // StreamStats aggregates one stream's observations.
@@ -207,6 +246,10 @@ type StreamStats struct {
 	WorstResponse Ticks
 	TotalResponse Ticks
 	Retries       int64
+	// Trace holds one record per terminated cycle (successful or
+	// failed), in termination order. Populated only when
+	// Config.RecordTrace or the stream's StreamConfig.Trace is set.
+	Trace []CompletionRecord
 }
 
 // MeanResponse averages over completed cycles.

@@ -150,9 +150,24 @@ func Simulate(cfg Config) (Result, error) {
 }
 
 // scheduleRelease schedules the n-th release of a stream and recurses.
+// Streams with an explicit Releases list follow it verbatim (no
+// synthetic jitter: the listed instants are real arrival times);
+// otherwise the periodic Offset + n·Period pattern applies.
 func (s *simulator) scheduleRelease(m *masterState, si int, n int64) {
 	st := m.cfg.Streams[si]
-	nominal := st.Offset + Ticks(n)*st.Period
+	var nominal Ticks
+	if st.Releases != nil {
+		if n >= int64(len(st.Releases)) {
+			return
+		}
+		nominal = st.Releases[n]
+		if nominal >= s.cfg.Horizon {
+			return
+		}
+		s.scheduleArrival(m, si, n, nominal, nominal)
+		return
+	}
+	nominal = st.Offset + Ticks(n)*st.Period
 	if nominal >= s.cfg.Horizon {
 		return
 	}
@@ -168,6 +183,13 @@ func (s *simulator) scheduleRelease(m *masterState, si int, n int64) {
 		}
 	}
 	ready := nominal + jit
+	s.scheduleArrival(m, si, n, nominal, ready)
+}
+
+// scheduleArrival enqueues the release event and recurses to the next
+// release of the stream.
+func (s *simulator) scheduleArrival(m *masterState, si int, n int64, nominal, ready Ticks) {
+	st := m.cfg.Streams[si]
 	s.eng.Schedule(ready, func() {
 		m.stats.PerStream[si].Released++
 		r := request{stream: si, nominal: nominal, ready: ready}
@@ -304,6 +326,10 @@ func (s *simulator) executeCycle(m *masterState, r request, high bool) {
 		stats.Retries += int64(retries)
 		if remainingAtStart > 0 && dur > remainingAtStart {
 			m.stats.TTHOverruns++
+		}
+		if s.cfg.RecordTrace || st.Trace {
+			stats.Trace = append(stats.Trace,
+				CompletionRecord{Release: r.nominal, Completed: s.eng.Now(), Failed: failed})
 		}
 		if failed {
 			stats.Failed++

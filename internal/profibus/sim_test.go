@@ -1,6 +1,7 @@
 package profibus
 
 import (
+	"reflect"
 	"testing"
 
 	"profirt/internal/ap"
@@ -318,7 +319,7 @@ func TestDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	sa, sb := a.PerMaster[0].PerStream[0], b.PerMaster[0].PerStream[0]
-	if sa != sb {
+	if !reflect.DeepEqual(sa, sb) {
 		t.Errorf("same seed diverged: %+v vs %+v", sa, sb)
 	}
 }
