@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench fuzz-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke fuzz-smoke
 
 ci: fmt vet build race fuzz-smoke
 
@@ -27,8 +27,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The perf baseline: the suite-level and batch benchmarks plus the
+# cached cold/warm pair, recorded into BENCH_results.json (structured
+# metrics + the verbatim benchstat-compatible text under .raw; compare
+# runs with `jq -r .raw BENCH_results.json | benchstat old.txt /dev/stdin`).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkAllExperiments|BenchmarkAnalyzeBatch' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkAllExperiments|BenchmarkAnalyzeBatch|BenchmarkAnalyzeCached' -benchmem . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	cat bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_results.json < bench.out
+	@rm -f bench.out
+
+# One iteration of every benchmark in the module: catches bit-rotted
+# benchmark code without paying for statistically meaningful timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # Short fuzzing smoke pass: the checked-in seed corpus already runs in
 # `make race`; this additionally lets each fuzzer mutate for a few

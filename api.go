@@ -8,6 +8,7 @@ import (
 	"profirt/internal/cpusim"
 	"profirt/internal/fdl"
 	"profirt/internal/holistic"
+	"profirt/internal/memo"
 	"profirt/internal/pool"
 	"profirt/internal/profibus"
 	"profirt/internal/sched"
@@ -191,6 +192,42 @@ type (
 // AnalyzeHolistic solves the coupled task/message/delivery fixed point.
 var AnalyzeHolistic = holistic.Analyze
 
+// Content-addressed analysis memoization. An AnalysisCache maps a
+// canonical hash of (normalized stream multiset, T_cycle, analysis
+// kind, options) to the computed response-time bounds, so repeated
+// fixed points — across batch entries, topology iterations, holistic
+// rounds and experiment sweeps — are solved once. Caching is opt-in
+// (BatchOptions.Cache, TopologyOptions.Cache, HolisticConfig.Cache)
+// and results are byte-identical with or without a cache; the
+// cache_equiv_test.go property test enforces that. Memory is bounded
+// (NewAnalysisCache's maxEntries, default 1<<16 entries with random
+// replacement); a cache is safe to share between any number of
+// concurrent callers.
+type (
+	// AnalysisCache is the shared, sharded, bounded result cache.
+	AnalysisCache = memo.Cache
+	// AnalysisCacheStats is a point-in-time hit/miss/eviction snapshot.
+	AnalysisCacheStats = memo.Stats
+)
+
+// Cached analysis entry points. Each takes the cache first and accepts
+// nil for "caching disabled" (plain delegation to the uncached form).
+var (
+	// NewAnalysisCache builds a cache bounded to maxEntries results
+	// (<= 0 selects the default 1<<16).
+	NewAnalysisCache = memo.New
+	// DMSchedulableCached is DMSchedulable with memoized per-master
+	// bounds.
+	DMSchedulableCached = memo.DMSchedulable
+	// EDFSchedulableNetCached is EDFSchedulableNet with memoized
+	// per-master bounds.
+	EDFSchedulableNetCached = memo.EDFSchedulableNet
+	// DMResponseTimesCached is DMResponseTimes memoized.
+	DMResponseTimesCached = memo.DMResponseTimes
+	// EDFMessageResponseTimesCached is EDFMessageResponseTimes memoized.
+	EDFMessageResponseTimesCached = memo.EDFResponseTimes
+)
+
 // Multi-segment topologies: several token rings coupled by
 // store-and-forward bridges that relay selected streams across rings
 // (see internal/topology for the model).
@@ -254,6 +291,13 @@ type BatchOptions struct {
 	// AnalyzeTopologyBatch (0 means the topology default of 64);
 	// AnalyzeBatch ignores it.
 	MaxIterations int
+	// Cache memoizes the DM/EDF response-time fixed points across the
+	// batch on a shared content-addressed table (nil disables).
+	// Batches with repeated or overlapping stream sets skip the
+	// recomputation entirely; results are byte-identical either way.
+	// The cache may be shared between concurrent batches and reused
+	// across calls. The closed-form FCFS bound is never cached.
+	Cache *AnalysisCache
 }
 
 // PolicyVerdict is one dispatching policy's outcome for one network.
@@ -298,8 +342,8 @@ func AnalyzeBatch(nets []Network, opts BatchOptions) []BatchResult {
 			return
 		}
 		r.FCFS.Schedulable, r.FCFS.Verdicts = core.FCFSSchedulable(nets[i])
-		r.DM.Schedulable, r.DM.Verdicts = core.DMSchedulable(nets[i], opts.DM)
-		r.EDF.Schedulable, r.EDF.Verdicts = core.EDFSchedulableNet(nets[i], opts.EDF)
+		r.DM.Schedulable, r.DM.Verdicts = memo.DMSchedulable(opts.Cache, nets[i], opts.DM)
+		r.EDF.Schedulable, r.EDF.Verdicts = memo.EDFSchedulableNet(opts.Cache, nets[i], opts.EDF)
 		out[i] = r
 	}
 	pool.Run(opts.Parallelism, len(nets), analyze)
@@ -330,7 +374,7 @@ func AnalyzeTopologyBatch(tops []Topology, opts BatchOptions) []TopologyBatchRes
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	topts := topology.Options{DM: opts.DM, EDF: opts.EDF, MaxIterations: opts.MaxIterations}
+	topts := topology.Options{DM: opts.DM, EDF: opts.EDF, MaxIterations: opts.MaxIterations, Cache: opts.Cache}
 	out := make([]TopologyBatchResult, len(tops))
 	analyze := func(i int) {
 		r := TopologyBatchResult{Index: i}

@@ -102,6 +102,57 @@ func benchAnalyzeBatch(b *testing.B, parallelism int) {
 func BenchmarkAnalyzeBatchSequential(b *testing.B) { benchAnalyzeBatch(b, 1) }
 func BenchmarkAnalyzeBatchParallel(b *testing.B)   { benchAnalyzeBatch(b, runtime.GOMAXPROCS(0)) }
 
+// The cached-analysis pair measures the content-addressed memo table
+// on a repeated-network batch (every net appears twice). Cold builds a
+// fresh cache per iteration, so it pays the full fixed-point cost plus
+// hashing; Warm reuses a populated cache, so every DM/EDF analysis is
+// a lookup. Their ratio is the headline speedup tracked in
+// BENCH_results.json (the acceptance bar is ≥ 2x; see also
+// TestCachedWarmSpeedup, which asserts it functionally).
+func benchCachedNets() []profirt.Network {
+	nets := benchBatchNets(128)
+	return append(nets, nets...)
+}
+
+func BenchmarkAnalyzeCachedCold(b *testing.B) {
+	nets := benchCachedNets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profirt.AnalyzeBatch(nets, profirt.BatchOptions{
+			Parallelism: 1, Cache: profirt.NewAnalysisCache(0),
+		})
+	}
+}
+
+func BenchmarkAnalyzeCachedWarm(b *testing.B) {
+	nets := benchCachedNets()
+	cache := profirt.NewAnalysisCache(0)
+	profirt.AnalyzeBatch(nets, profirt.BatchOptions{Parallelism: 1, Cache: cache})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		profirt.AnalyzeBatch(nets, profirt.BatchOptions{Parallelism: 1, Cache: cache})
+	}
+}
+
+// BenchmarkAllExperimentsCached tracks the cache's effect on the full
+// E1–E13 quick suite (compare against BenchmarkAllExperimentsParallel).
+// One warm-up pass populates the cache before the timer starts so the
+// measurement is a steady-state warm number independent of b.N.
+func BenchmarkAllExperimentsCached(b *testing.B) {
+	cfg := experiments.QuickConfig()
+	cfg.Parallelism = runtime.GOMAXPROCS(0)
+	cfg.Cache = profirt.NewAnalysisCache(0)
+	for _, e := range experiments.All() {
+		e.Run(cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All() {
+			e.Run(cfg)
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 func benchTaskSet(n int) sched.TaskSet {

@@ -1,0 +1,143 @@
+// Command benchjson converts `go test -bench` output read on stdin
+// into the repository's BENCH_results.json baseline: structured
+// per-benchmark metrics for tooling, plus the verbatim benchmark text
+// so benchstat keeps working against the JSON artifact:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_results.json
+//	jq -r .raw BENCH_results.json | benchstat /dev/stdin
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark identifier without the -procs suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (0 when absent).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value (e.g. "ns/op", "B/op", "allocs/op",
+	// plus any b.ReportMetric units such as "cycles/run").
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_results.json schema.
+type Report struct {
+	// Unix is the generation time in seconds since the epoch.
+	Unix int64 `json:"unix"`
+	// Goos/Goarch/Pkg/CPU echo the go test header lines when present.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks holds the parsed result lines in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw is the verbatim input, kept benchstat-compatible.
+	Raw string `json:"raw"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output path (- for stdout)")
+	flag.Parse()
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (Report, error) {
+	rep := Report{Unix: time.Now().Unix()}
+	var raw strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		raw.WriteString(line)
+		raw.WriteByte('\n')
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	rep.Raw = raw.String()
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("no benchmark result lines on stdin")
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line of the standard form
+//
+//	BenchmarkName-8   5   223492287 ns/op   2048 B/op   12 allocs/op
+//
+// A trailing -<digits> is interpreted as the GOMAXPROCS suffix, the
+// same convention golang.org/x/perf's benchfmt applies. That reading
+// is ambiguous by construction — under GOMAXPROCS=1 the testing
+// package omits the suffix, so a benchmark whose own name ends in
+// -<digits> would lose its tail — a quirk shared with benchstat, and
+// none of this repo's benchmark names end in digits.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Need name, iterations and at least one value-unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Metrics: map[string]float64{}}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

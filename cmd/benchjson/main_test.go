@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: profirt
+cpu: Example CPU @ 2.0GHz
+BenchmarkAnalyzeCachedCold-8   	      50	  22349228 ns/op	 2048 B/op	      12 allocs/op
+BenchmarkAnalyzeCachedWarm-8   	     500	   2234922 ns/op	  128 B/op	       3 allocs/op
+BenchmarkProfibusSimulator-8   	      10	 123456789 ns/op	     42000 cycles/run
+PASS
+ok  	profirt	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "profirt" || rep.CPU != "Example CPU @ 2.0GHz" {
+		t.Errorf("header mis-parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	cold := rep.Benchmarks[0]
+	if cold.Name != "BenchmarkAnalyzeCachedCold" || cold.Procs != 8 || cold.Iterations != 50 {
+		t.Errorf("cold line mis-parsed: %+v", cold)
+	}
+	if cold.Metrics["ns/op"] != 22349228 || cold.Metrics["allocs/op"] != 12 {
+		t.Errorf("cold metrics mis-parsed: %+v", cold.Metrics)
+	}
+	if rep.Benchmarks[2].Metrics["cycles/run"] != 42000 {
+		t.Errorf("custom metric lost: %+v", rep.Benchmarks[2].Metrics)
+	}
+	if rep.Raw != sample {
+		t.Error("raw text not preserved verbatim (benchstat compatibility)")
+	}
+	// The warm/cold ratio recorded by the baseline must be derivable
+	// from the parsed metrics.
+	ratio := cold.Metrics["ns/op"] / rep.Benchmarks[1].Metrics["ns/op"]
+	if ratio < 9.9 || ratio > 10.1 {
+		t.Errorf("ratio %f, want ~10", ratio)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Error("expected an error with no benchmark lines")
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-id E7] [-quick] [-trials N] [-seed N] [-parallel N] [-format plain|md|csv]
+//	experiments [-id E7] [-quick] [-trials N] [-seed N] [-parallel N] [-cache=false] [-format plain|md|csv]
 package main
 
 import (
@@ -14,8 +14,10 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 
 	"profirt/internal/experiments"
+	"profirt/internal/memo"
 	"profirt/internal/stats"
 )
 
@@ -34,6 +36,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed (tables are reproducible per seed)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"grid-cell worker pool size (1 = sequential; tables are identical either way)")
+	cache := fs.Bool("cache", true,
+		"memoize repeated DM/EDF/holistic fixed points (tables are identical either way)")
 	format := fs.String("format", "md", "output format: plain, md or csv")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
@@ -59,6 +63,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Trials = *trials
 	}
 	cfg.Parallelism = *parallel
+	if *cache {
+		cfg.Cache = memo.New(0)
+	}
+	if !*quick {
+		// Full-size runs take minutes per experiment; stream per-job
+		// completion events to stderr so the run is observable while
+		// the tables (which must assemble in deterministic grid order)
+		// are still being built. Quick runs stay silent — the golden
+		// test pins their stdout AND stderr byte-for-byte.
+		cfg.Progress = progressSink(stderr)
+	}
 
 	var toRun []experiments.Experiment
 	if *id != "" {
@@ -83,6 +98,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// progressSink returns a row-streaming progress callback writing
+// throttled "<id>: done/total jobs" lines to w. Events arrive
+// concurrently from pool workers; the sink serialises them, drops
+// stale ones (a worker can be descheduled between incrementing the
+// counter and reporting, so events may arrive out of order), and
+// prints roughly every 10% plus the final event of each experiment
+// grid.
+func progressSink(w io.Writer) func(experiments.ProgressEvent) {
+	var mu sync.Mutex
+	// The staleness guard is keyed per (experiment, job count): every
+	// current driver fans out at most one grid per experiment, and a
+	// hypothetical second grid would almost certainly schedule a
+	// different job count and so start a fresh monotonic sequence.
+	printed := map[string]int{}
+	return func(ev experiments.ProgressEvent) {
+		step := ev.Total / 10
+		if step < 1 {
+			step = 1
+		}
+		if ev.Done != ev.Total && ev.Done%step != 0 {
+			return
+		}
+		key := fmt.Sprintf("%s/%d", ev.Experiment, ev.Total)
+		mu.Lock()
+		if ev.Done > printed[key] {
+			printed[key] = ev.Done
+			fmt.Fprintf(w, "%s: %d/%d jobs\n", ev.Experiment, ev.Done, ev.Total)
+		}
+		mu.Unlock()
+	}
 }
 
 func render(w io.Writer, t *stats.Table, format string) error {

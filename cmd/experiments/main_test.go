@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -60,6 +61,35 @@ func TestQuickGolden(t *testing.T) {
 				t.Errorf("output differs from %s.\nIf the change is intentional, regenerate with -update.\n--- got ---\n%s", path, stdout.String())
 			}
 		})
+	}
+}
+
+// TestProgressStreaming covers the non-quick progress sink: full-size
+// runs stream per-job completion events to stderr while stdout still
+// carries only the deterministic tables. E12 is the cheapest full-size
+// experiment (pure analysis, no simulation), so the test runs it for
+// real.
+func TestProgressStreaming(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-id", "E12", "-trials", "1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "E12: 5/5 jobs") {
+		t.Errorf("expected a final E12 progress event on stderr, got:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "jobs") {
+		t.Error("progress events leaked onto stdout")
+	}
+
+	// Quick runs must stay silent: the golden test pins empty stderr,
+	// and this pins the gating logic directly.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-quick", "-id", "E12"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("quick run = %d", code)
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("quick run wrote progress to stderr:\n%s", stderr.String())
 	}
 }
 

@@ -20,9 +20,21 @@
 //     every analysis against simulation (see EXPERIMENTS.md). The
 //     harness evaluates independent grid cells on a bounded worker
 //     pool (experiments.Config.Parallelism, default GOMAXPROCS) with
-//     per-cell deterministic RNG seeding, so tables are byte-identical
-//     at any parallelism; AnalyzeBatch offers the same concurrent,
+//     per-cell deterministic RNG seeding; high-trial cells further
+//     split into per-trial sub-jobs with per-trial derived seeds
+//     (cellSeed ⊕ FNV(trial)), so tables are byte-identical at any
+//     parallelism; AnalyzeBatch offers the same concurrent,
 //     cancellable evaluation for the message-level analyses;
+//   - content-addressed analysis memoization: an AnalysisCache maps a
+//     canonical, order-insensitive hash of (normalized stream
+//     multiset, T_cycle, analysis kind, options) to the computed
+//     DM/EDF bounds, so repeated fixed points across batch entries,
+//     topology iterations, holistic rounds and experiment sweeps are
+//     solved once. Opt in via BatchOptions.Cache,
+//     TopologyOptions.Cache or HolisticConfig.Cache; results are
+//     byte-identical with or without a cache (property-tested), the
+//     table is sharded and safe to share between concurrent callers,
+//     and memory is bounded with random-replacement eviction;
 //   - multi-segment topologies: several token rings coupled by
 //     store-and-forward bridges that relay selected high-priority
 //     streams across rings. A relayed stream inherits its source's

@@ -242,22 +242,11 @@ func hasLowerHigh(streams []Stream, i int) bool {
 // network whose masters all use DM dispatching, with T_cycle from
 // Eq. 14, and checks R <= D per stream.
 func DMSchedulable(n Network, opts DMOptions) (bool, []StreamVerdict) {
-	tc := n.TokenCycle()
-	ok := true
-	var out []StreamVerdict
-	for _, m := range n.Masters {
+	return SchedulableWith(n, func(m Master, tc Ticks) []Ticks {
 		o := opts
 		if m.LongestLow > 0 {
 			o.BlockingFromLowPriority = true
 		}
-		rs := DMResponseTimes(m.High, tc, o)
-		for i, s := range m.High {
-			v := StreamVerdict{Master: m.Name, Stream: s.Name, D: s.D, R: rs[i], OK: rs[i] <= s.D}
-			if !v.OK {
-				ok = false
-			}
-			out = append(out, v)
-		}
-	}
-	return ok, out
+		return DMResponseTimes(m.High, tc, o)
+	})
 }

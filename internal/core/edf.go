@@ -172,22 +172,11 @@ func edfMessageResponseOne(streams []Stream, i int, tcycle, busy Ticks, opts EDF
 // EDFSchedulableNet applies Eqs. 17–18 across a network whose masters
 // all use EDF dispatching, with T_cycle from Eq. 14.
 func EDFSchedulableNet(n Network, opts EDFOptions) (bool, []StreamVerdict) {
-	tc := n.TokenCycle()
-	ok := true
-	var out []StreamVerdict
-	for _, m := range n.Masters {
+	return SchedulableWith(n, func(m Master, tc Ticks) []Ticks {
 		o := opts
 		if m.LongestLow > 0 {
 			o.BlockingFromLowPriority = true
 		}
-		rs := EDFResponseTimes(m.High, tc, o)
-		for i, s := range m.High {
-			v := StreamVerdict{Master: m.Name, Stream: s.Name, D: s.D, R: rs[i], OK: rs[i] <= s.D}
-			if !v.OK {
-				ok = false
-			}
-			out = append(out, v)
-		}
-	}
-	return ok, out
+		return EDFResponseTimes(m.High, tc, o)
+	})
 }

@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
+
+	"profirt/internal/memo"
 )
 
 // render renders every table an experiment produces into one string,
@@ -39,6 +42,146 @@ func TestParallelismDeterminism(t *testing.T) {
 				t.Errorf("parallel tables differ from sequential:\n--- parallel ---\n%s--- sequential ---\n%s", got, want)
 			}
 		})
+	}
+}
+
+// TestTrialShardingDeterminism is the regression gate for trial-level
+// sharding: with per-trial sub-jobs forced on (TrialShardMin 1), the
+// E1–E5 tables must be byte-identical at Parallelism 1, 2 and
+// GOMAXPROCS — every trial owns an RNG seeded cellSeed ⊕ FNV(trial)
+// and the reducers fold per-trial slots in trial order, so scheduling
+// cannot leak into any number.
+func TestTrialShardingDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			cfg := QuickConfig()
+			cfg.TrialShardMin = 1 // force sharding at the quick trial count
+			if !cfg.shardTrials() {
+				t.Fatal("sharding not active; the test is vacuous")
+			}
+			var want string
+			for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				c := cfg
+				c.Parallelism = par
+				got := render(e, c)
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Fatalf("sharded tables differ at parallelism %d:\n--- got ---\n%s--- want ---\n%s", par, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTrialShardingSeedsReachDraws proves the sharded mode actually
+// re-seeds each trial (so the byte-equality above is not vacuous):
+// per-(cell, trial) draws must match the trialSeed derivation exactly
+// in sharded mode and the shared cell RNG sequence in unsharded mode.
+func TestTrialShardingSeedsReachDraws(t *testing.T) {
+	const cells, trials = 3, 4
+	draws := func(min int) [][]int64 {
+		cfg := Config{Seed: 5, Trials: trials, TrialShardMin: min, Parallelism: 1}
+		out := make([][]int64, cells)
+		for i := range out {
+			out[i] = make([]int64, trials)
+		}
+		forEachCellTrial(cfg, "test", cells, func(cell, trial int, rng *rand.Rand) {
+			out[cell][trial] = rng.Int63()
+		})
+		return out
+	}
+	sharded, unsharded := draws(1), draws(-1)
+	for c := 0; c < cells; c++ {
+		cellRNG := rand.New(rand.NewSource(cellSeed(5, "test", c)))
+		for tr := 0; tr < trials; tr++ {
+			if want := rand.New(rand.NewSource(trialSeed(5, "test", c, tr))).Int63(); sharded[c][tr] != want {
+				t.Fatalf("sharded draw (%d,%d) = %d, want trialSeed-derived %d", c, tr, sharded[c][tr], want)
+			}
+			if want := cellRNG.Int63(); unsharded[c][tr] != want {
+				t.Fatalf("unsharded draw (%d,%d) = %d, want shared-cell-RNG %d", c, tr, unsharded[c][tr], want)
+			}
+		}
+	}
+}
+
+// TestTrialShardMinThreshold pins the activation rule: default
+// threshold 16 (quick 8-trial runs keep historical draws, full-size 40
+// shard), negative disables.
+func TestTrialShardMinThreshold(t *testing.T) {
+	for _, tc := range []struct {
+		trials, min int
+		want        bool
+	}{
+		{8, 0, false}, {16, 0, true}, {40, 0, true},
+		{8, 1, true}, {40, -1, false}, {4, 4, true}, {4, 5, false},
+	} {
+		cfg := Config{Trials: tc.trials, TrialShardMin: tc.min}
+		if got := cfg.shardTrials(); got != tc.want {
+			t.Errorf("shardTrials(Trials=%d, Min=%d) = %v, want %v", tc.trials, tc.min, got, tc.want)
+		}
+	}
+}
+
+// TestCachedExperimentsDeterminism is the engine-level equivalence
+// gate: E9–E13 (the drivers threading Config.Cache into the DM/EDF and
+// holistic fixed points) must render byte-identical tables with a
+// shared cache and with caching disabled, while actually hitting the
+// cache.
+func TestCachedExperimentsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, id := range []string{"E9", "E10", "E11", "E12", "E13"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			plain := QuickConfig()
+			cached := QuickConfig()
+			cached.Cache = memo.New(0)
+			got, want := render(e, cached), render(e, plain)
+			if got != want {
+				t.Errorf("cached tables differ from uncached:\n--- cached ---\n%s--- uncached ---\n%s", got, want)
+			}
+			if s := cached.Cache.Stats(); s.Hits+s.Misses == 0 {
+				t.Errorf("cache never consulted (stats %+v); the driver is not threading Config.Cache", s)
+			}
+		})
+	}
+}
+
+// TestTrialSeedDistinct guards the per-trial seed derivation: distinct
+// (experiment, cell, trial) triples — and the cell seeds themselves —
+// must all map to distinct RNG seeds for a fixed Seed.
+func TestTrialSeedDistinct(t *testing.T) {
+	seen := map[int64]string{}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5"} {
+		for cell := 0; cell < 16; cell++ {
+			key := func(kind string, v int64) {
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("seed collision: (%s,%d,%s) and %s both map to %d", id, cell, kind, prev, v)
+				}
+				seen[v] = id + kind
+			}
+			key("cell", cellSeed(1, id, cell))
+			for trial := 0; trial < 40; trial++ {
+				key("trial", trialSeed(1, id, cell, trial))
+			}
+		}
+	}
+	if trialSeed(1, "E1", 0, 0) == trialSeed(2, "E1", 0, 0) {
+		t.Error("trialSeed ignores the configured Seed")
 	}
 }
 

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 
+	"profirt/internal/memo"
 	"profirt/internal/stats"
 )
 
@@ -27,6 +28,34 @@ type Config struct {
 	// draws from its own deterministically seeded RNG and results are
 	// reassembled in grid order.
 	Parallelism int
+	// TrialShardMin sets the trial count at which a grid cell splits
+	// into per-trial sub-jobs on the worker pool (see forEachCellTrial):
+	// 0 selects the default (16, so full-size 40-trial cells shard and
+	// quick 8-trial cells keep the historical shared-RNG draws);
+	// negative disables sharding. Sharded cells seed each trial
+	// independently (cellSeed ⊕ FNV(trial)), so their tables differ
+	// from unsharded ones but are byte-identical at any Parallelism.
+	TrialShardMin int
+	// Cache memoizes the message-level DM/EDF and holistic fixed
+	// points across grid cells, trials and policies on a shared
+	// content-addressed table (nil disables). Tables are byte-identical
+	// with or without it.
+	Cache *memo.Cache
+	// Progress, when non-nil, receives one event per completed pool
+	// job (a grid cell, or a single trial when the cell is
+	// trial-sharded). It is called concurrently from worker goroutines
+	// and must be safe for that; keep it cheap. Used by cmd/experiments
+	// to stream progress for full-size runs.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one completed unit of experiment work.
+type ProgressEvent struct {
+	// Experiment is the driver's ID (e.g. "E7").
+	Experiment string
+	// Done and Total count completed vs scheduled pool jobs for the
+	// current grid of that experiment.
+	Done, Total int
 }
 
 // DefaultConfig returns the full-size configuration used to produce

@@ -83,7 +83,9 @@ func E13Holistic(cfg Config) []*stats.Table {
 	rows := make([][]any, len(cells))
 	forEachCell(cfg, "E13", len(cells), func(ci int, _ *rand.Rand) {
 		c := cells[ci]
-		res, err := holistic.Analyze(e13Config(c.pol, c.scale))
+		hcfg := e13Config(c.pol, c.scale)
+		hcfg.Cache = cfg.Cache
+		res, err := holistic.Analyze(hcfg)
 		if err != nil {
 			panic(err)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"profirt/internal/ap"
 	"profirt/internal/core"
+	"profirt/internal/memo"
 	"profirt/internal/profibus"
 	"profirt/internal/stats"
 	"profirt/internal/timeunit"
@@ -42,7 +43,7 @@ func E9DMMessageRTA(cfg Config) []*stats.Table {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			net, sim := workload.StreamSet(rng, p)
 			tc := net.TokenCycle()
-			okRev, _ := core.DMSchedulable(net, core.DMOptions{})
+			okRev, _ := memo.DMSchedulable(cfg.Cache, net, core.DMOptions{})
 			if !okRev {
 				continue
 			}
@@ -51,8 +52,8 @@ func E9DMMessageRTA(cfg Config) []*stats.Table {
 				panic(err)
 			}
 			for mi, m := range net.Masters {
-				lit := core.DMResponseTimes(m.High, tc, core.DMOptions{Literal: true})
-				rev := core.DMResponseTimes(m.High, tc, core.DMOptions{
+				lit := memo.DMResponseTimes(cfg.Cache, m.High, tc, core.DMOptions{Literal: true})
+				rev := memo.DMResponseTimes(cfg.Cache, m.High, tc, core.DMOptions{
 					BlockingFromLowPriority: m.LongestLow > 0,
 				})
 				for si := range m.High {
@@ -103,7 +104,7 @@ func E10EDFMessageRTA(cfg Config) []*stats.Table {
 		maxRatio, sumRel := 0.0, 0.0
 		for trial := 0; trial < cfg.Trials; trial++ {
 			net, sim := workload.StreamSet(rng, p)
-			ok, verdicts := core.EDFSchedulableNet(net, core.EDFOptions{})
+			ok, verdicts := memo.EDFSchedulableNet(cfg.Cache, net, core.EDFOptions{})
 			if !ok {
 				continue
 			}
@@ -116,7 +117,7 @@ func E10EDFMessageRTA(cfg Config) []*stats.Table {
 			tcRef := net.RefinedTokenCycle()
 			vi := 0
 			for mi, m := range net.Masters {
-				ref := core.EDFResponseTimes(m.High, tcRef, core.EDFOptions{
+				ref := memo.EDFResponseTimes(cfg.Cache, m.High, tcRef, core.EDFOptions{
 					BlockingFromLowPriority: m.LongestLow > 0,
 				})
 				for si := range m.High {
@@ -184,10 +185,10 @@ func E11PolicyComparison(cfg Config) []*stats.Table {
 			if ok, _ := core.FCFSSchedulable(net); ok {
 				accF++
 			}
-			if ok, _ := core.DMSchedulable(net, core.DMOptions{}); ok {
+			if ok, _ := memo.DMSchedulable(cfg.Cache, net, core.DMOptions{}); ok {
 				accD++
 			}
-			if ok, _ := core.EDFSchedulableNet(net, core.EDFOptions{}); ok {
+			if ok, _ := memo.EDFSchedulableNet(cfg.Cache, net, core.EDFOptions{}); ok {
 				accE++
 			}
 			for _, pol := range []ap.Policy{ap.FCFS, ap.DM, ap.EDF} {
@@ -239,8 +240,8 @@ func E12JitterEndToEnd(cfg Config) []*stats.Table {
 		for i := range streams {
 			streams[i].J = core.Ticks(f * float64(streams[i].T))
 		}
-		dm := core.DMResponseTimes(streams, tc, core.DMOptions{})
-		edf := core.EDFResponseTimes(streams, tc, core.EDFOptions{})
+		dm := memo.DMResponseTimes(cfg.Cache, streams, tc, core.DMOptions{})
+		edf := memo.EDFResponseTimes(cfg.Cache, streams, tc, core.EDFOptions{})
 		rows[ci] = []any{fmt.Sprintf("%.1f", f), dm[0], dm[2], edf[0], edf[2]}
 	})
 	addRows(t, rows)
@@ -251,7 +252,7 @@ func E12JitterEndToEnd(cfg Config) []*stats.Table {
 	for i := range streams {
 		streams[i].J = core.Ticks(0.2 * float64(streams[i].T))
 	}
-	dm := core.DMResponseTimes(streams, tc, core.DMOptions{})
+	dm := memo.DMResponseTimes(cfg.Cache, streams, tc, core.DMOptions{})
 	gen := streams[0].J // g doubles as the release-jitter bound (Sec. 4.1)
 	e := core.Compose(gen, dm[0], streams[0].Ch, 500)
 	t2.AddRow("generation g", e.Generation)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"hash/fnv"
 	"math/rand"
+	"sync/atomic"
 
 	"profirt/internal/pool"
 )
@@ -37,6 +38,22 @@ func cellRNG(cfg Config, experimentID string, cell int) *rand.Rand {
 	return rand.New(rand.NewSource(cellSeed(cfg.Seed, experimentID, cell)))
 }
 
+// runJobs is the pool entry shared by the cell and trial fan-outs: it
+// evaluates fn(i) for every i in [0, n) on the configured pool and
+// streams one ProgressEvent per completed job to cfg.Progress when set.
+func runJobs(cfg Config, experimentID string, n int, fn func(i int)) {
+	prog := cfg.Progress
+	if prog == nil {
+		pool.Run(cfg.Parallelism, n, fn)
+		return
+	}
+	var done atomic.Int64
+	pool.Run(cfg.Parallelism, n, func(i int) {
+		fn(i)
+		prog(ProgressEvent{Experiment: experimentID, Done: int(done.Add(1)), Total: n})
+	})
+}
+
 // forEachCell evaluates fn(cell, rng) for every cell in [0, n) on a
 // bounded worker pool of cfg.Parallelism goroutines (0 meaning
 // GOMAXPROCS, per pool.Run) and blocks until all cells are done. Each
@@ -45,7 +62,71 @@ func cellRNG(cfg Config, experimentID string, cell int) *rand.Rand {
 // cells: it must only write to state owned by its cell (typically a
 // preallocated per-cell result slot).
 func forEachCell(cfg Config, experimentID string, n int, fn func(cell int, rng *rand.Rand)) {
-	pool.Run(cfg.Parallelism, n, func(cell int) {
+	runJobs(cfg, experimentID, n, func(cell int) {
 		fn(cell, cellRNG(cfg, experimentID, cell))
+	})
+}
+
+// Trial-level sharding. Cells with many trials (E1–E5 run 40 each at
+// full size) dominate wall-clock when the grid has fewer cells than
+// cores; splitting each trial into its own pool job restores scaling.
+// Determinism follows the same construction as cells: a sharded trial
+// owns an RNG seeded
+//
+//	cellSeed(Seed, experimentID, cell) ⊕ FNV-1a(trial)
+//
+// so its draws depend only on (Seed, experiment, cell, trial), never on
+// scheduling order, and drivers write results into per-trial slots that
+// are reduced in trial order afterwards.
+
+// defaultTrialShardMin is the trial count at which cells shard when
+// Config.TrialShardMin is zero: full-size runs (40 trials) shard,
+// quick runs (8) keep the historical shared-RNG draw sequence — the
+// golden -quick tables are pinned to it.
+const defaultTrialShardMin = 16
+
+// shardTrials reports whether cells split into per-trial sub-jobs.
+func (cfg Config) shardTrials() bool {
+	min := cfg.TrialShardMin
+	if min == 0 {
+		min = defaultTrialShardMin
+	}
+	return min > 0 && cfg.Trials >= min
+}
+
+// trialSeed derives the deterministic RNG seed for one trial of one
+// grid cell.
+func trialSeed(seed int64, experimentID string, cell, trial int) int64 {
+	h := fnv.New64a()
+	var idx [8]byte
+	binary.LittleEndian.PutUint64(idx[:], uint64(trial))
+	h.Write(idx[:])
+	return cellSeed(seed, experimentID, cell) ^ int64(h.Sum64())
+}
+
+// forEachCellTrial evaluates fn(cell, trial, rng) for every (cell,
+// trial) pair in [0, nCells) × [0, cfg.Trials). With trial sharding
+// active every pair is an independent pool job with its own
+// trialSeed-derived RNG; otherwise each cell runs its trials
+// sequentially sharing the cell RNG, exactly reproducing the draw
+// sequence of the historical per-cell loop. In both modes fn must
+// write only to state owned by its (cell, trial) slot; aggregation
+// over trials happens after this returns, in trial order, so tables
+// are byte-identical at any Parallelism.
+func forEachCellTrial(cfg Config, experimentID string, nCells int, fn func(cell, trial int, rng *rand.Rand)) {
+	if cfg.Trials <= 0 {
+		return
+	}
+	if !cfg.shardTrials() {
+		forEachCell(cfg, experimentID, nCells, func(cell int, rng *rand.Rand) {
+			for t := 0; t < cfg.Trials; t++ {
+				fn(cell, t, rng)
+			}
+		})
+		return
+	}
+	runJobs(cfg, experimentID, nCells*cfg.Trials, func(i int) {
+		cell, trial := i/cfg.Trials, i%cfg.Trials
+		fn(cell, trial, rand.New(rand.NewSource(trialSeed(cfg.Seed, experimentID, cell, trial))))
 	})
 }

@@ -83,30 +83,48 @@ func E1FixedPriorityPreemptive(cfg Config) []*stats.Table {
 		"n", "U", "sched. ratio", "max sim/bound", "tight tasks", "violations")
 	t.Note = "bound = Joseph–Pandya response-time analysis; sim = cpusim over synchronous + random offsets"
 	cells := nuGrid(cfg.Quick)
-	rows := make([][]any, len(cells))
-	forEachCell(cfg, "E1", len(cells), func(ci int, rng *rand.Rand) {
+	type trialResult struct {
+		schedulable              bool
+		violations, tight, tasks int
+		maxRatio                 float64
+	}
+	res := make([]trialResult, len(cells)*cfg.Trials)
+	forEachCellTrial(cfg, "E1", len(cells), func(ci, trial int, rng *rand.Rand) {
 		c := cells[ci]
+		r := &res[ci*cfg.Trials+trial]
+		ts := sched.SortDM(workload.TaskSet(rng, workload.DefaultTaskSetParams(c.n, c.u)))
+		ok, bounds := sched.FPSchedulable(ts, sched.FPOptions{Preemptive: true})
+		if !ok {
+			return
+		}
+		r.schedulable = true
+		worst := simWorst(ts, cpusim.FPPreemptive, rng)
+		for i := range ts {
+			r.tasks++
+			if worst[i] > bounds[i] {
+				r.violations++
+			}
+			if worst[i] == bounds[i] {
+				r.tight++
+			}
+			if ratio := float64(worst[i]) / float64(bounds[i]); ratio > r.maxRatio {
+				r.maxRatio = ratio
+			}
+		}
+	})
+	rows := make([][]any, len(cells))
+	for ci, c := range cells {
 		var schedulable, violations, tight, tasks int
 		maxRatio := 0.0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			ts := sched.SortDM(workload.TaskSet(rng, workload.DefaultTaskSetParams(c.n, c.u)))
-			ok, bounds := sched.FPSchedulable(ts, sched.FPOptions{Preemptive: true})
-			if !ok {
-				continue
+		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
+			if r.schedulable {
+				schedulable++
 			}
-			schedulable++
-			worst := simWorst(ts, cpusim.FPPreemptive, rng)
-			for i := range ts {
-				tasks++
-				if worst[i] > bounds[i] {
-					violations++
-				}
-				if worst[i] == bounds[i] {
-					tight++
-				}
-				if r := float64(worst[i]) / float64(bounds[i]); r > maxRatio {
-					maxRatio = r
-				}
+			violations += r.violations
+			tight += r.tight
+			tasks += r.tasks
+			if r.maxRatio > maxRatio {
+				maxRatio = r.maxRatio
 			}
 		}
 		rows[ci] = []any{c.n, fmt.Sprintf("%.1f", c.u),
@@ -114,7 +132,7 @@ func E1FixedPriorityPreemptive(cfg Config) []*stats.Table {
 			fmt.Sprintf("%.3f", maxRatio),
 			fmt.Sprintf("%d/%d", tight, tasks),
 			violations}
-	})
+	}
 	addRows(t, rows)
 	return []*stats.Table{t}
 }
@@ -127,34 +145,55 @@ func E2FixedPriorityNonPreemptive(cfg Config) []*stats.Table {
 		"n", "U", "literal violations", "revised violations", "max sim/revised", "mean revised/literal")
 	t.Note = "a literal violation means the simulator exceeded the paper's Eq. 1 bound (the pre-2007 optimism)"
 	cells := nuGrid(cfg.Quick)
-	rows := make([][]any, len(cells))
-	forEachCell(cfg, "E2", len(cells), func(ci int, rng *rand.Rand) {
+	type trialResult struct {
+		litViol, revViol int
+		maxRatio         float64
+		// rels holds every rev/lit ratio in task order so the reducer
+		// can fold the mean's sum in exactly the historical order
+		// (float addition is order-sensitive; tables must stay
+		// byte-identical).
+		rels []float64
+	}
+	res := make([]trialResult, len(cells)*cfg.Trials)
+	forEachCellTrial(cfg, "E2", len(cells), func(ci, trial int, rng *rand.Rand) {
 		c := cells[ci]
+		r := &res[ci*cfg.Trials+trial]
+		p := workload.DefaultTaskSetParams(c.n, c.u)
+		p.PeriodMin, p.PeriodMax = 20, 600 // short periods make boundary ties likely
+		ts := sched.SortDM(workload.TaskSet(rng, p))
+		lit := sched.ResponseTimesFP(ts, sched.FPOptions{LiteralPaperRecurrence: true})
+		rev := sched.ResponseTimesFP(ts, sched.FPOptions{})
+		worst := simWorst(ts, cpusim.FPNonPreemptive, rng)
+		for i := range ts {
+			if lit[i] != timeunit.MaxTicks && worst[i] > lit[i] {
+				r.litViol++
+			}
+			if rev[i] != timeunit.MaxTicks {
+				if worst[i] > rev[i] {
+					r.revViol++
+				}
+				if ratio := float64(worst[i]) / float64(rev[i]); ratio > r.maxRatio {
+					r.maxRatio = ratio
+				}
+			}
+			if lit[i] != timeunit.MaxTicks && rev[i] != timeunit.MaxTicks && lit[i] > 0 {
+				r.rels = append(r.rels, float64(rev[i])/float64(lit[i]))
+			}
+		}
+	})
+	rows := make([][]any, len(cells))
+	for ci, c := range cells {
 		var litViol, revViol, cmpCount int
 		maxRatio, sumRel := 0.0, 0.0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			p := workload.DefaultTaskSetParams(c.n, c.u)
-			p.PeriodMin, p.PeriodMax = 20, 600 // short periods make boundary ties likely
-			ts := sched.SortDM(workload.TaskSet(rng, p))
-			lit := sched.ResponseTimesFP(ts, sched.FPOptions{LiteralPaperRecurrence: true})
-			rev := sched.ResponseTimesFP(ts, sched.FPOptions{})
-			worst := simWorst(ts, cpusim.FPNonPreemptive, rng)
-			for i := range ts {
-				if lit[i] != timeunit.MaxTicks && worst[i] > lit[i] {
-					litViol++
-				}
-				if rev[i] != timeunit.MaxTicks {
-					if worst[i] > rev[i] {
-						revViol++
-					}
-					if r := float64(worst[i]) / float64(rev[i]); r > maxRatio {
-						maxRatio = r
-					}
-				}
-				if lit[i] != timeunit.MaxTicks && rev[i] != timeunit.MaxTicks && lit[i] > 0 {
-					sumRel += float64(rev[i]) / float64(lit[i])
-					cmpCount++
-				}
+		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
+			litViol += r.litViol
+			revViol += r.revViol
+			if r.maxRatio > maxRatio {
+				maxRatio = r.maxRatio
+			}
+			for _, rel := range r.rels {
+				sumRel += rel
+				cmpCount++
 			}
 		}
 		meanRel := 0.0
@@ -163,7 +202,7 @@ func E2FixedPriorityNonPreemptive(cfg Config) []*stats.Table {
 		}
 		rows[ci] = []any{c.n, fmt.Sprintf("%.1f", c.u), litViol, revViol,
 			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel)}
-	})
+	}
 	addRows(t, rows)
 	return []*stats.Table{t}
 }
@@ -187,25 +226,39 @@ func E3EDFDemand(cfg Config) []*stats.Table {
 			cells = append(cells, cell{dr, u})
 		}
 	}
-	rows := make([][]any, len(cells))
-	forEachCell(cfg, "E3", len(cells), func(ci int, rng *rand.Rand) {
+	type trialResult struct {
+		accepted, miss bool
+		points         int
+	}
+	res := make([]trialResult, len(cells)*cfg.Trials)
+	forEachCellTrial(cfg, "E3", len(cells), func(ci, trial int, rng *rand.Rand) {
 		c := cells[ci]
+		r := &res[ci*cfg.Trials+trial]
+		p := workload.DefaultTaskSetParams(5, c.u)
+		p.DeadlineRatioMin = c.dr
+		ts := workload.TaskSet(rng, p)
+		rep := sched.EDFFeasiblePreemptive(ts)
+		if !rep.Feasible {
+			return
+		}
+		r.accepted = true
+		r.points = rep.Checked
+		sim, err := cpusim.Run(ts, cpusim.Options{Policy: cpusim.EDFPreemptive, Horizon: 1 << 15})
+		if err != nil {
+			panic(err)
+		}
+		r.miss = sim.AnyMiss()
+	})
+	rows := make([][]any, len(cells))
+	for ci, c := range cells {
 		accepted, misses, points := 0, 0, 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			p := workload.DefaultTaskSetParams(5, c.u)
-			p.DeadlineRatioMin = c.dr
-			ts := workload.TaskSet(rng, p)
-			rep := sched.EDFFeasiblePreemptive(ts)
-			if !rep.Feasible {
+		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
+			if !r.accepted {
 				continue
 			}
 			accepted++
-			points += rep.Checked
-			res, err := cpusim.Run(ts, cpusim.Options{Policy: cpusim.EDFPreemptive, Horizon: 1 << 15})
-			if err != nil {
-				panic(err)
-			}
-			if res.AnyMiss() {
+			points += r.points
+			if r.miss {
 				misses++
 			}
 		}
@@ -215,7 +268,7 @@ func E3EDFDemand(cfg Config) []*stats.Table {
 		}
 		rows[ci] = []any{fmt.Sprintf("%.1f", c.u), fmt.Sprintf("%.1f", c.dr),
 			stats.Ratio{K: accepted, N: cfg.Trials}, misses, fmt.Sprintf("%.1f", mean)}
-	})
+	}
 	addRows(t, rows)
 	return []*stats.Table{t}
 }
@@ -238,31 +291,41 @@ func E4NonPreemptiveEDFTests(cfg Config) []*stats.Table {
 			cells = append(cells, cell{dr, u})
 		}
 	}
-	rows := make([][]any, len(cells))
-	forEachCell(cfg, "E4", len(cells), func(ci int, rng *rand.Rand) {
+	type trialResult struct {
+		zs, g, miss bool
+	}
+	res := make([]trialResult, len(cells)*cfg.Trials)
+	forEachCellTrial(cfg, "E4", len(cells), func(ci, trial int, rng *rand.Rand) {
 		c := cells[ci]
+		r := &res[ci*cfg.Trials+trial]
+		p := workload.DefaultTaskSetParams(5, c.u)
+		p.DeadlineRatioMin = c.dr
+		p.PeriodMin, p.PeriodMax = 50, 2_000
+		ts := workload.TaskSet(rng, p)
+		r.zs = sched.EDFFeasibleNonPreemptiveZS(ts).Feasible
+		r.g = sched.EDFFeasibleNonPreemptiveGeorge(ts).Feasible
+		if r.g {
+			sim, err := cpusim.Run(ts, cpusim.Options{Policy: cpusim.EDFNonPreemptive, Horizon: 1 << 15})
+			if err != nil {
+				panic(err)
+			}
+			r.miss = sim.AnyMiss()
+		}
+	})
+	rows := make([][]any, len(cells))
+	for ci, c := range cells {
 		zsAcc, gAcc, gOnly, simViol := 0, 0, 0, 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			p := workload.DefaultTaskSetParams(5, c.u)
-			p.DeadlineRatioMin = c.dr
-			p.PeriodMin, p.PeriodMax = 50, 2_000
-			ts := workload.TaskSet(rng, p)
-			zs := sched.EDFFeasibleNonPreemptiveZS(ts).Feasible
-			g := sched.EDFFeasibleNonPreemptiveGeorge(ts).Feasible
-			if zs {
+		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
+			if r.zs {
 				zsAcc++
 			}
-			if g {
+			if r.g {
 				gAcc++
-				res, err := cpusim.Run(ts, cpusim.Options{Policy: cpusim.EDFNonPreemptive, Horizon: 1 << 15})
-				if err != nil {
-					panic(err)
-				}
-				if res.AnyMiss() {
+				if r.miss {
 					simViol++
 				}
 			}
-			if g && !zs {
+			if r.g && !r.zs {
 				gOnly++
 			}
 		}
@@ -270,7 +333,7 @@ func E4NonPreemptiveEDFTests(cfg Config) []*stats.Table {
 			stats.Ratio{K: zsAcc, N: cfg.Trials},
 			stats.Ratio{K: gAcc, N: cfg.Trials},
 			gOnly, simViol}
-	})
+	}
 	addRows(t, rows)
 	return []*stats.Table{t}
 }
@@ -290,39 +353,52 @@ func E5EDFResponseTimes(cfg Config) []*stats.Table {
 			cells = append(cells, cell{mode, u})
 		}
 	}
-	rows := make([][]any, len(cells))
-	forEachCell(cfg, "E5", len(cells), func(ci int, rng *rand.Rand) {
+	type trialResult struct {
+		violations int
+		// ratios holds every finite sim/bound ratio in task order (see
+		// E2's trialResult for why the reducer folds them in order).
+		ratios []float64
+	}
+	res := make([]trialResult, len(cells)*cfg.Trials)
+	forEachCellTrial(cfg, "E5", len(cells), func(ci, trial int, rng *rand.Rand) {
 		c := cells[ci]
+		r := &res[ci*cfg.Trials+trial]
+		p := workload.DefaultTaskSetParams(4, c.u)
+		p.DeadlineRatioMin = 0.8
+		p.PeriodMin, p.PeriodMax = 50, 1_500
+		ts := workload.TaskSet(rng, p)
+		var bounds []sched.Ticks
+		var pol cpusim.Policy
+		if c.mode == "preemptive" {
+			bounds = sched.ResponseTimesEDFPreemptive(ts, sched.EDFOptions{})
+			pol = cpusim.EDFPreemptive
+		} else {
+			bounds = sched.ResponseTimesEDFNonPreemptive(ts, sched.EDFOptions{})
+			pol = cpusim.EDFNonPreemptive
+		}
+		worst := simWorst(ts, pol, rng)
+		for i := range ts {
+			if bounds[i] == timeunit.MaxTicks {
+				continue
+			}
+			if worst[i] > bounds[i] {
+				r.violations++
+			}
+			r.ratios = append(r.ratios, float64(worst[i])/float64(bounds[i]))
+		}
+	})
+	rows := make([][]any, len(cells))
+	for ci, c := range cells {
 		violations, count := 0, 0
 		maxR, sumR := 0.0, 0.0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			p := workload.DefaultTaskSetParams(4, c.u)
-			p.DeadlineRatioMin = 0.8
-			p.PeriodMin, p.PeriodMax = 50, 1_500
-			ts := workload.TaskSet(rng, p)
-			var bounds []sched.Ticks
-			var pol cpusim.Policy
-			if c.mode == "preemptive" {
-				bounds = sched.ResponseTimesEDFPreemptive(ts, sched.EDFOptions{})
-				pol = cpusim.EDFPreemptive
-			} else {
-				bounds = sched.ResponseTimesEDFNonPreemptive(ts, sched.EDFOptions{})
-				pol = cpusim.EDFNonPreemptive
-			}
-			worst := simWorst(ts, pol, rng)
-			for i := range ts {
-				if bounds[i] == timeunit.MaxTicks {
-					continue
-				}
+		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
+			violations += r.violations
+			for _, ratio := range r.ratios {
 				count++
-				r := float64(worst[i]) / float64(bounds[i])
-				if worst[i] > bounds[i] {
-					violations++
+				if ratio > maxR {
+					maxR = ratio
 				}
-				if r > maxR {
-					maxR = r
-				}
-				sumR += r
+				sumR += ratio
 			}
 		}
 		mean := 0.0
@@ -331,7 +407,7 @@ func E5EDFResponseTimes(cfg Config) []*stats.Table {
 		}
 		rows[ci] = []any{c.mode, fmt.Sprintf("%.1f", c.u), violations,
 			fmt.Sprintf("%.3f", maxR), fmt.Sprintf("%.3f", mean)}
-	})
+	}
 	addRows(t, rows)
 	return []*stats.Table{t}
 }

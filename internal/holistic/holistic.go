@@ -21,6 +21,7 @@ import (
 
 	"profirt/internal/ap"
 	"profirt/internal/core"
+	"profirt/internal/memo"
 	"profirt/internal/sched"
 	"profirt/internal/timeunit"
 )
@@ -73,6 +74,13 @@ type Config struct {
 	Masters   []MasterSpec
 	// MaxIterations caps the holistic fixed point (default 64).
 	MaxIterations int
+	// Cache memoizes the message-level DM/EDF fixed points on a shared
+	// content-addressed table (nil disables). The holistic iteration
+	// recomputes each master's bus analysis once per round with the
+	// current jitters; rounds whose jitters settled — and repeated
+	// analyses of identical configurations across a sweep — hit the
+	// cache. Results are byte-identical with or without it.
+	Cache *memo.Cache
 }
 
 // TransactionReport is the per-transaction outcome.
@@ -152,7 +160,7 @@ func Analyze(cfg Config) (Result, error) {
 		iterations++
 		changed := false
 		for k := range cfg.Masters {
-			if stepMaster(&cfg.Masters[k], &states[k], tc) {
+			if stepMaster(&cfg.Masters[k], &states[k], tc, cfg.Cache) {
 				changed = true
 			}
 		}
@@ -219,7 +227,7 @@ func validate(cfg Config) error {
 
 // stepMaster performs one holistic round on a master and reports
 // whether any quantity changed.
-func stepMaster(m *MasterSpec, st *state, tc Ticks) bool {
+func stepMaster(m *MasterSpec, st *state, tc Ticks, cache *memo.Cache) bool {
 	n := len(m.Transactions)
 
 	// Host analysis: generation and delivery tasks under preemptive DM.
@@ -272,11 +280,11 @@ func stepMaster(m *MasterSpec, st *state, tc Ticks) bool {
 	var msg []Ticks
 	switch m.Dispatcher {
 	case ap.DM:
-		msg = core.DMResponseTimes(streams, tc, core.DMOptions{
+		msg = memo.DMResponseTimes(cache, streams, tc, core.DMOptions{
 			BlockingFromLowPriority: m.LongestLow > 0,
 		})
 	case ap.EDF:
-		msg = core.EDFResponseTimes(streams, tc, core.EDFOptions{
+		msg = memo.EDFResponseTimes(cache, streams, tc, core.EDFOptions{
 			BlockingFromLowPriority: m.LongestLow > 0,
 		})
 	default: // FCFS, Eq. 11: nh·T_cycle regardless of jitter

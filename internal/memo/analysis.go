@@ -1,0 +1,103 @@
+package memo
+
+import (
+	"profirt/internal/core"
+)
+
+// This file holds the cache-aware mirrors of the core message
+// analyses. Every function takes the cache first and accepts nil for
+// "caching disabled", in which case it is a plain delegation to core —
+// the higher layers (api.AnalyzeBatch, topology.Analyze,
+// holistic.Analyze, the experiment drivers) call these mirrors
+// unconditionally and let the cache pointer decide.
+//
+// The FCFS bound (Eq. 11) is intentionally never cached: it is the
+// closed form nh·T_cycle, cheaper than a hash.
+
+// dmOptsWords flattens DMOptions into the key encoding.
+func dmOptsWords(o core.DMOptions) []uint64 {
+	var flags uint64
+	if o.Literal {
+		flags |= 1
+	}
+	if o.BlockingFromLowPriority {
+		flags |= 2
+	}
+	return []uint64{flags, uint64(o.Horizon)}
+}
+
+// edfOptsWords flattens EDFOptions into the key encoding.
+func edfOptsWords(o core.EDFOptions) []uint64 {
+	var flags uint64
+	if o.BlockingFromLowPriority {
+		flags |= 1
+	}
+	return []uint64{flags, uint64(o.Horizon)}
+}
+
+// unpermute maps canonical-order results back to the caller's stream
+// order: out[i] = canonical[perm[i]]. It always allocates, so cached
+// slices are never aliased by callers.
+func unpermute(canonical []Ticks, perm []int) []Ticks {
+	out := make([]Ticks, len(perm))
+	for i, p := range perm {
+		out[i] = canonical[p]
+	}
+	return out
+}
+
+// DMResponseTimes is core.DMResponseTimes memoized on c. Results are
+// byte-identical to the uncached call for every input (see
+// streamSetKey for why deadline ties are safe).
+func DMResponseTimes(c *Cache, streams []core.Stream, tcycle Ticks, opts core.DMOptions) []Ticks {
+	if c == nil || len(streams) == 0 {
+		return core.DMResponseTimes(streams, tcycle, opts)
+	}
+	key, canon, perm := streamSetKey(KindDM, tcycle, dmOptsWords(opts), streams, true)
+	if v, ok := c.Get(key); ok {
+		return unpermute(v.([]Ticks), perm)
+	}
+	res := core.DMResponseTimes(canon, tcycle, opts)
+	c.Put(key, res)
+	return unpermute(res, perm)
+}
+
+// EDFResponseTimes is core.EDFResponseTimes memoized on c.
+func EDFResponseTimes(c *Cache, streams []core.Stream, tcycle Ticks, opts core.EDFOptions) []Ticks {
+	if c == nil || len(streams) == 0 {
+		return core.EDFResponseTimes(streams, tcycle, opts)
+	}
+	key, canon, perm := streamSetKey(KindEDF, tcycle, edfOptsWords(opts), streams, false)
+	if v, ok := c.Get(key); ok {
+		return unpermute(v.([]Ticks), perm)
+	}
+	res := core.EDFResponseTimes(canon, tcycle, opts)
+	c.Put(key, res)
+	return unpermute(res, perm)
+}
+
+// DMSchedulable mirrors core.DMSchedulable with the per-master bounds
+// memoized on c. Verdicts (which carry master/stream names) are always
+// assembled fresh via core.SchedulableWith, so the cache stays
+// name-blind and two networks differing only in labels share entries.
+func DMSchedulable(c *Cache, n core.Network, opts core.DMOptions) (bool, []core.StreamVerdict) {
+	return core.SchedulableWith(n, func(m core.Master, tc Ticks) []Ticks {
+		o := opts
+		if m.LongestLow > 0 {
+			o.BlockingFromLowPriority = true
+		}
+		return DMResponseTimes(c, m.High, tc, o)
+	})
+}
+
+// EDFSchedulableNet mirrors core.EDFSchedulableNet with the per-master
+// bounds memoized on c.
+func EDFSchedulableNet(c *Cache, n core.Network, opts core.EDFOptions) (bool, []core.StreamVerdict) {
+	return core.SchedulableWith(n, func(m core.Master, tc Ticks) []Ticks {
+		o := opts
+		if m.LongestLow > 0 {
+			o.BlockingFromLowPriority = true
+		}
+		return EDFResponseTimes(c, m.High, tc, o)
+	})
+}

@@ -1,0 +1,141 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+
+	"profirt/internal/core"
+	"profirt/internal/timeunit"
+)
+
+// Ticks aliases the shared time base.
+type Ticks = timeunit.Ticks
+
+// Kind tags which analysis a key addresses, so equal stream sets under
+// different analyses can never collide.
+type Kind byte
+
+// Analysis kinds.
+const (
+	// KindDM keys the Eq. 16 deadline-monotonic message RTA.
+	KindDM Kind = 1
+	// KindEDF keys the Eqs. 17–18 EDF message RTA.
+	KindEDF Kind = 2
+)
+
+// keyVersion is bumped whenever the canonical encoding or the analysed
+// semantics change, invalidating every previously computed address.
+const keyVersion = 1
+
+// streamLess is the canonical total preorder on normalized streams:
+// (D, T, Ch, J) lexicographically. Names are excluded — they never
+// enter the response-time arithmetic.
+func streamLess(a, b core.Stream) bool {
+	switch {
+	case a.D != b.D:
+		return a.D < b.D
+	case a.T != b.T:
+		return a.T < b.T
+	case a.Ch != b.Ch:
+		return a.Ch < b.Ch
+	default:
+		return a.J < b.J
+	}
+}
+
+func sameTuple(a, b core.Stream) bool {
+	return a.Ch == b.Ch && a.D == b.D && a.T == b.T && a.J == b.J
+}
+
+// streamSetKey builds the content address for one (kind, tcycle, opts,
+// stream set) analysis invocation. It returns the key, the canonical
+// stream ordering the underlying analysis should run on (names
+// stripped), and perm with perm[i] = canonical position of caller
+// stream i, so cached canonical-order results map back to the caller's
+// order.
+//
+// The canonical ordering sorts streams by (D, T, Ch, J), making the
+// key order-insensitive: permuting the caller's streams yields the
+// same key and the same (re-permuted) results. That normalization is
+// sound because the FCFS/DM/EDF message analyses are permutation-
+// equivariant — every stream's bound depends only on its own attributes
+// and the multiset of the others — with one exception: the DM analysis
+// breaks deadline ties by input position. When kind is order-sensitive
+// (DM) and two streams with equal D differ in any other attribute, the
+// input order carries meaning, so the key falls back to encoding the
+// caller's order verbatim (flagged in the digest) and the canonical
+// ordering degenerates to the input order. Identical duplicate streams
+// never force the fallback: interchangeable tuples are interchangeable
+// positions. Either way, cached and uncached results stay byte-
+// identical.
+//
+// opts carries the flattened analysis options; kind-distinct layouts
+// may reuse word positions because kind itself is part of the digest.
+func streamSetKey(kind Kind, tcycle Ticks, opts []uint64, streams []core.Stream, orderSensitive bool) (Key, []core.Stream, []int) {
+	n := len(streams)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable: equal tuples keep the caller's relative order, so
+	// duplicate streams map back onto themselves.
+	sort.SliceStable(idx, func(x, y int) bool {
+		return streamLess(streams[idx[x]], streams[idx[y]])
+	})
+
+	ordered := false
+	if orderSensitive {
+		for k := 1; k < n; k++ {
+			a, b := streams[idx[k-1]], streams[idx[k]]
+			if a.D == b.D && !sameTuple(a, b) {
+				ordered = true
+				break
+			}
+		}
+	}
+	if ordered {
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+
+	canon := make([]core.Stream, n)
+	perm := make([]int, n)
+	for pos, orig := range idx {
+		s := streams[orig]
+		s.Name = ""
+		canon[pos] = s
+		perm[orig] = pos
+	}
+
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte{keyVersion, byte(kind), flag(ordered)})
+	word(uint64(tcycle))
+	word(uint64(len(opts)))
+	for _, o := range opts {
+		word(o)
+	}
+	word(uint64(n))
+	for _, s := range canon {
+		word(uint64(s.Ch))
+		word(uint64(s.D))
+		word(uint64(s.T))
+		word(uint64(s.J))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k, canon, perm
+}
+
+func flag(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,290 @@
+package memo
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"profirt/internal/core"
+)
+
+func ts(ch, d, t, j Ticks) core.Stream { return core.Stream{Ch: ch, D: d, T: t, J: j} }
+
+// keyOf is the test shorthand for the DM key of a stream set.
+func keyOf(kind Kind, tc Ticks, streams []core.Stream) Key {
+	k, _, _ := streamSetKey(kind, tc, []uint64{0, 0}, streams, kind == KindDM)
+	return k
+}
+
+// TestKeyPermutationInvariant is half of the collision sanity check:
+// the canonical hash must be order-insensitive — permuting the stream
+// order yields the same address (distinct deadlines, so no DM
+// fallback).
+func TestKeyPermutationInvariant(t *testing.T) {
+	streams := []core.Stream{
+		ts(300, 20_000, 40_000, 0),
+		ts(450, 60_000, 120_000, 500),
+		ts(500, 150_000, 300_000, 0),
+		ts(500, 150_000, 300_000, 0), // exact duplicate
+	}
+	rng := rand.New(rand.NewSource(1))
+	want := keyOf(KindDM, 2_500, streams)
+	wantEDF := keyOf(KindEDF, 2_500, streams)
+	for i := 0; i < 50; i++ {
+		p := append([]core.Stream(nil), streams...)
+		rng.Shuffle(len(p), func(a, b int) { p[a], p[b] = p[b], p[a] })
+		if got := keyOf(KindDM, 2_500, p); got != want {
+			t.Fatalf("permutation %d changed the DM key", i)
+		}
+		if got := keyOf(KindEDF, 2_500, p); got != wantEDF {
+			t.Fatalf("permutation %d changed the EDF key", i)
+		}
+	}
+	// Names never enter the address.
+	named := append([]core.Stream(nil), streams...)
+	for i := range named {
+		named[i].Name = "renamed"
+	}
+	if keyOf(KindDM, 2_500, named) != want {
+		t.Error("renaming streams changed the key")
+	}
+}
+
+// TestKeyCollisionSanity is the other half: near-identical inputs —
+// one attribute nudged by one tick, one stream duplicated or dropped,
+// a different kind, T_cycle or option word — must address distinct
+// entries.
+func TestKeyCollisionSanity(t *testing.T) {
+	base := []core.Stream{
+		ts(300, 20_000, 40_000, 0),
+		ts(450, 60_000, 120_000, 500),
+		ts(500, 150_000, 300_000, 0),
+	}
+	seen := map[Key]string{}
+	add := func(label string, k Key) {
+		t.Helper()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision: %q and %q share an address", label, prev)
+		}
+		seen[k] = label
+	}
+	add("base", keyOf(KindDM, 2_500, base))
+	add("base-edf", keyOf(KindEDF, 2_500, base))
+	add("base-tc", keyOf(KindDM, 2_501, base))
+	k, _, _ := streamSetKey(KindDM, 2_500, []uint64{1, 0}, base, true)
+	add("base-opts", k)
+	for i := range base {
+		for f := 0; f < 4; f++ {
+			mod := append([]core.Stream(nil), base...)
+			switch f {
+			case 0:
+				mod[i].Ch++
+			case 1:
+				mod[i].D++
+			case 2:
+				mod[i].T++
+			case 3:
+				mod[i].J++
+			}
+			add("nudged", keyOf(KindDM, 2_500, mod))
+		}
+	}
+	add("duplicated", keyOf(KindDM, 2_500, append(append([]core.Stream(nil), base...), base[0])))
+	add("dropped", keyOf(KindDM, 2_500, base[:2]))
+}
+
+// TestKeyDMDeadlineTieFallback pins the order-sensitivity rule: when
+// two distinct streams tie on D, the DM analysis breaks the tie by
+// input position, so the key must encode the order (permutations get
+// distinct addresses) while EDF — order-insensitive even under ties —
+// keeps a shared one. Ties between identical tuples stay order-free
+// for both.
+func TestKeyDMDeadlineTieFallback(t *testing.T) {
+	a := ts(300, 50_000, 80_000, 0)
+	b := ts(400, 50_000, 120_000, 0) // same D, different tuple
+	if keyOf(KindDM, 2_500, []core.Stream{a, b}) == keyOf(KindDM, 2_500, []core.Stream{b, a}) {
+		t.Error("DM key ignored the order of distinct deadline-tied streams")
+	}
+	if keyOf(KindEDF, 2_500, []core.Stream{a, b}) != keyOf(KindEDF, 2_500, []core.Stream{b, a}) {
+		t.Error("EDF key should stay order-insensitive under deadline ties")
+	}
+	dup := ts(300, 50_000, 80_000, 0)
+	if keyOf(KindDM, 2_500, []core.Stream{a, dup, b}) != keyOf(KindDM, 2_500, []core.Stream{dup, a, b}) {
+		t.Error("identical duplicates must not force the order fallback")
+	}
+}
+
+// randomStreams draws a small stream set; deadline ties (including
+// cross-tuple ties that trigger the DM fallback) are made likely on
+// purpose by drawing D from a coarse grid.
+func randomStreams(rng *rand.Rand) []core.Stream {
+	n := 1 + rng.Intn(5)
+	out := make([]core.Stream, n)
+	for i := range out {
+		out[i] = core.Stream{
+			Name: "s",
+			Ch:   Ticks(200 + rng.Intn(400)),
+			D:    Ticks((1 + rng.Intn(8)) * 10_000),
+			T:    Ticks(40_000 + rng.Intn(4)*20_000),
+			J:    Ticks(rng.Intn(3) * 1_000),
+		}
+	}
+	return out
+}
+
+// TestCachedMatchesUncached is the wrapper-level equivalence property:
+// across random stream sets (duplicates, deadline ties and divergent
+// bounds included), the memoized DM/EDF analyses must return exactly
+// the uncached results — on the miss that populates the cache and on
+// every subsequent hit, including hits reached through a permuted
+// ordering of the same set.
+func TestCachedMatchesUncached(t *testing.T) {
+	c := New(0)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		streams := randomStreams(rng)
+		tc := Ticks(1_500 + rng.Intn(3)*500)
+		dmOpts := core.DMOptions{Literal: rng.Intn(2) == 0, BlockingFromLowPriority: rng.Intn(2) == 0}
+		edfOpts := core.EDFOptions{BlockingFromLowPriority: rng.Intn(2) == 0}
+
+		wantDM := core.DMResponseTimes(streams, tc, dmOpts)
+		wantEDF := core.EDFResponseTimes(streams, tc, edfOpts)
+		for pass := 0; pass < 3; pass++ {
+			if got := DMResponseTimes(c, streams, tc, dmOpts); !reflect.DeepEqual(got, wantDM) {
+				t.Fatalf("trial %d pass %d: cached DM %v != uncached %v (streams %+v tc %d opts %+v)",
+					trial, pass, got, wantDM, streams, tc, dmOpts)
+			}
+			if got := EDFResponseTimes(c, streams, tc, edfOpts); !reflect.DeepEqual(got, wantEDF) {
+				t.Fatalf("trial %d pass %d: cached EDF %v != uncached %v (streams %+v tc %d)",
+					trial, pass, got, wantEDF, streams, tc)
+			}
+			// Permute and check the re-mapped results against a direct
+			// uncached evaluation of the permuted order.
+			perm := rng.Perm(len(streams))
+			shuffled := make([]core.Stream, len(streams))
+			for i, p := range perm {
+				shuffled[i] = streams[p]
+			}
+			if got, want := DMResponseTimes(c, shuffled, tc, dmOpts), core.DMResponseTimes(shuffled, tc, dmOpts); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: permuted cached DM %v != uncached %v (streams %+v tc %d opts %+v)",
+					trial, got, want, shuffled, tc, dmOpts)
+			}
+			if got, want := EDFResponseTimes(c, shuffled, tc, edfOpts), core.EDFResponseTimes(shuffled, tc, edfOpts); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: permuted cached EDF %v != uncached %v", trial, got, want)
+			}
+		}
+	}
+	if s := c.Stats(); s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("degenerate exercise: stats %+v", s)
+	}
+}
+
+// TestNetworkWrappersMatchCore checks the verdict-level mirrors.
+func TestNetworkWrappersMatchCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New(0)
+	for trial := 0; trial < 60; trial++ {
+		n := core.Network{TTR: Ticks(1_000 + rng.Intn(3_000))}
+		masters := 1 + rng.Intn(3)
+		for m := 0; m < masters; m++ {
+			cm := core.Master{Name: "m", High: randomStreams(rng)}
+			if rng.Intn(2) == 0 {
+				cm.LongestLow = Ticks(200 + rng.Intn(400))
+			}
+			n.Masters = append(n.Masters, cm)
+		}
+		for pass := 0; pass < 2; pass++ {
+			gotOK, got := DMSchedulable(c, n, core.DMOptions{})
+			wantOK, want := core.DMSchedulable(n, core.DMOptions{})
+			if gotOK != wantOK || !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: cached DMSchedulable diverged", trial)
+			}
+			gotOK, got = EDFSchedulableNet(c, n, core.EDFOptions{})
+			wantOK, want = core.EDFSchedulableNet(n, core.EDFOptions{})
+			if gotOK != wantOK || !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: cached EDFSchedulableNet diverged", trial)
+			}
+		}
+	}
+}
+
+// TestNilCache pins the "caching disabled" contract.
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	streams := []core.Stream{ts(300, 20_000, 40_000, 0)}
+	want := core.DMResponseTimes(streams, 2_500, core.DMOptions{})
+	if got := DMResponseTimes(c, streams, 2_500, core.DMOptions{}); !reflect.DeepEqual(got, want) {
+		t.Fatal("nil cache must delegate")
+	}
+	if _, ok := c.Get(Key{}); ok {
+		t.Error("nil Get must miss")
+	}
+	c.Put(Key{}, 1) // must not panic
+	c.Reset()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("nil Stats = %+v", s)
+	}
+}
+
+// TestEviction checks the memory bound: entries never exceed the cap
+// and displaced keys recompute correctly.
+func TestEviction(t *testing.T) {
+	c := New(shardCount) // one entry per shard
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		streams := randomStreams(rng)
+		DMResponseTimes(c, streams, 2_500, core.DMOptions{})
+		if got := c.Len(); got > shardCount {
+			t.Fatalf("cache grew to %d entries past the bound %d", got, shardCount)
+		}
+	}
+	if c.Stats().Evictions == 0 {
+		t.Error("expected evictions at this insert volume")
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Stats().Hits != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+// TestConcurrentSharedCache hammers one cache from many goroutines over
+// a small key population (maximal contention) and checks every result
+// against the uncached analysis. Run under -race this is the data-race
+// gate for the sharded table.
+func TestConcurrentSharedCache(t *testing.T) {
+	c := New(128)
+	seedRng := rand.New(rand.NewSource(11))
+	population := make([][]core.Stream, 16)
+	for i := range population {
+		population[i] = randomStreams(seedRng)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				streams := population[rng.Intn(len(population))]
+				got := DMResponseTimes(c, streams, 2_500, core.DMOptions{})
+				want := core.DMResponseTimes(streams, 2_500, core.DMOptions{})
+				if !reflect.DeepEqual(got, want) {
+					select {
+					case errs <- "concurrent cached result diverged":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}

@@ -3,6 +3,7 @@ package topology
 import (
 	"profirt/internal/ap"
 	"profirt/internal/core"
+	"profirt/internal/memo"
 	"profirt/internal/timeunit"
 )
 
@@ -16,6 +17,14 @@ type Options struct {
 	// (default 64; the fixed point needs chain depth + 1 iterations on
 	// any valid — acyclic — relay graph).
 	MaxIterations int
+	// Cache memoizes the per-master DM/EDF response-time vectors on a
+	// shared content-addressed table (nil disables). Inside one Analyze
+	// the jitter fixed point re-evaluates every segment each iteration
+	// even when only a few inherited jitters moved, so unchanged
+	// masters hit the cache; across a batch, topologies sharing segment
+	// configurations share entries. Results are byte-identical with or
+	// without it.
+	Cache *memo.Cache
 }
 
 // SegmentReport is one segment's analytic outcome.
@@ -243,13 +252,13 @@ func segmentResponses(m core.Master, pol ap.Policy, tc Ticks, opts Options) []Ti
 		if m.LongestLow > 0 {
 			o.BlockingFromLowPriority = true
 		}
-		return core.DMResponseTimes(m.High, tc, o)
+		return memo.DMResponseTimes(opts.Cache, m.High, tc, o)
 	case ap.EDF:
 		o := opts.EDF
 		if m.LongestLow > 0 {
 			o.BlockingFromLowPriority = true
 		}
-		return core.EDFResponseTimes(m.High, tc, o)
+		return memo.EDFResponseTimes(opts.Cache, m.High, tc, o)
 	default:
 		base := core.FCFSResponseTime(m, tc)
 		out := make([]Ticks, len(m.High))
