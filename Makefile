@@ -28,11 +28,13 @@ race:
 	$(GO) test -race ./...
 
 # The perf baseline: the suite-level and batch benchmarks plus the
-# cached cold/warm pair, recorded into BENCH_results.json (structured
-# metrics + the verbatim benchstat-compatible text under .raw; compare
-# runs with `jq -r .raw BENCH_results.json | benchstat old.txt /dev/stdin`).
+# cached cold/warm pair, the SimulateBatch pair and the campaign
+# cold-store/warm-resume pair, recorded into BENCH_results.json
+# (structured metrics + the verbatim benchstat-compatible text under
+# .raw; compare runs with
+# `jq -r .raw BENCH_results.json | benchstat old.txt /dev/stdin`).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkAllExperiments|BenchmarkAnalyzeBatch|BenchmarkAnalyzeCached' -benchmem . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) test -run '^$$' -bench 'BenchmarkAllExperiments|BenchmarkAnalyzeBatch|BenchmarkAnalyzeCached|BenchmarkSimulateBatch|BenchmarkCampaign' -benchmem . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	cat bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_results.json < bench.out
 	@rm -f bench.out
@@ -50,3 +52,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseTopology$$' -fuzztime 5s ./internal/configfile
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime 3s ./internal/configfile
 	$(GO) test -run '^$$' -fuzz '^FuzzNetworkValidate$$' -fuzztime 5s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzParseCampaign$$' -fuzztime 5s ./internal/campaign

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"profirt/internal/ap"
+	"profirt/internal/campaign"
 	"profirt/internal/core"
 	"profirt/internal/cpusim"
 	"profirt/internal/fdl"
@@ -12,6 +13,7 @@ import (
 	"profirt/internal/pool"
 	"profirt/internal/profibus"
 	"profirt/internal/sched"
+	"profirt/internal/stats"
 	"profirt/internal/timeunit"
 	"profirt/internal/topology"
 )
@@ -150,6 +152,28 @@ var (
 	Simulate = profibus.Simulate
 )
 
+// Batch simulation: the simulation counterpart of AnalyzeBatch. Many
+// independent runs fan out across the shared bounded worker pool; each
+// run i simulates cfgs[i] with its seed replaced by
+// Seed ⊕ FNV-1a(i) (SimBatchSeed) unless ConfigSeeds is set, so the
+// batch is a pure function of (configs, base seed) and its results are
+// byte-identical at any Parallelism. Cancellation via Context returns
+// unstarted runs with Skipped set; OnResult streams each run's outcome
+// the moment it completes.
+type (
+	// SimBatchOptions tunes SimulateBatch.
+	SimBatchOptions = profibus.BatchOptions
+	// SimBatchResult is SimulateBatch's outcome for one configuration.
+	SimBatchResult = profibus.BatchResult
+)
+
+var (
+	// SimulateBatch runs many network simulations concurrently.
+	SimulateBatch = profibus.SimulateBatch
+	// SimBatchSeed derives run index's seed from the batch base seed.
+	SimBatchSeed = profibus.BatchSeed
+)
+
 // Single-processor simulation substrate (validating Section 2).
 type (
 	// CPUPolicy selects the uniprocessor scheduling discipline.
@@ -226,6 +250,63 @@ var (
 	DMResponseTimesCached = memo.DMResponseTimes
 	// EDFMessageResponseTimesCached is EDFMessageResponseTimes memoized.
 	EDFMessageResponseTimesCached = memo.EDFResponseTimes
+)
+
+// Durable result persistence. A ResultStore is the disk-backed sibling
+// of AnalysisCache: an append-only, integrity-hashed JSONL file mapping
+// content addresses to result payloads, surviving process death. The
+// campaign engine writes every completed job through it, so a killed
+// sweep resumes from its completed work and a repeated sweep against
+// the same store is warm-started. Torn or corrupted lines (a kill
+// mid-write) are dropped at open — they only cost a recomputation. A
+// store is bound at creation to the meta bytes it was opened with (the
+// campaign manifest hash); reopening under different meta fails.
+type (
+	// ResultStore is the disk-backed content-addressed result store.
+	ResultStore = memo.Store
+	// ResultStoreStats is a point-in-time store counter snapshot.
+	ResultStoreStats = memo.StoreStats
+)
+
+// OpenResultStore opens (or creates) the store at path, bound to meta.
+var OpenResultStore = memo.OpenStore
+
+// Durable sweep campaigns: a JSON manifest describing a grid of
+// networks × deadline scales × dispatching policies × trials compiles
+// into content-addressed simulation jobs executed via SimulateBatch,
+// with results written through a ResultStore and table rows streamed
+// in grid order as they complete. See internal/campaign for the model
+// and cmd/campaign for the CLI (run/resume/status).
+type (
+	// Campaign is a compiled sweep-campaign manifest.
+	Campaign = campaign.Campaign
+	// CampaignManifest is the JSON manifest schema.
+	CampaignManifest = campaign.Manifest
+	// CampaignNetworkSpec names one swept network (inline or by file).
+	CampaignNetworkSpec = campaign.NetworkSpec
+	// CampaignJob is one compiled unit of campaign work.
+	CampaignJob = campaign.Job
+	// CampaignRunOptions tunes Campaign.Run.
+	CampaignRunOptions = campaign.RunOptions
+	// CampaignRunResult summarizes one Campaign.Run.
+	CampaignRunResult = campaign.RunResult
+	// CampaignEvent reports one settled campaign job.
+	CampaignEvent = campaign.Event
+	// CampaignStatus summarizes a store's coverage of a campaign.
+	CampaignStatus = campaign.StatusReport
+	// TableRowEvent is one table row released in grid order by a
+	// row-streaming sink (CampaignRunOptions.RowSink).
+	TableRowEvent = stats.RowEvent
+)
+
+var (
+	// NewCampaign compiles a manifest value.
+	NewCampaign = campaign.New
+	// ParseCampaign compiles a manifest from JSON bytes (inline
+	// networks only; file references resolve via LoadCampaign).
+	ParseCampaign = campaign.Parse
+	// LoadCampaign reads, resolves and compiles a manifest file.
+	LoadCampaign = campaign.Load
 )
 
 // Multi-segment topologies: several token rings coupled by

@@ -9,7 +9,9 @@ package profirt_test
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -149,6 +151,107 @@ func BenchmarkAllExperimentsCached(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, e := range experiments.All() {
 			e.Run(cfg)
+		}
+	}
+}
+
+// --- batch simulation + campaign benchmarks ---
+
+// benchSimConfigs draws the simulator population for the SimulateBatch
+// pair: many small independent networks with random jitter active, so
+// the per-run seed derivation is on the measured path.
+func benchSimConfigs(n int) []profirt.SimConfig {
+	rng := rand.New(rand.NewSource(17))
+	p := workload.DefaultStreamSetParams()
+	p.Masters, p.StreamsPerMaster = 2, 3
+	p.MaxJitter = 1_000
+	cfgs := make([]profirt.SimConfig, n)
+	for i := range cfgs {
+		_, cfg := workload.StreamSet(rng, p)
+		cfg.Horizon = 200_000
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+func benchSimulateBatch(b *testing.B, parallelism int) {
+	cfgs := benchSimConfigs(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := profirt.SimulateBatch(cfgs, profirt.SimBatchOptions{Parallelism: parallelism, Seed: 5})
+		for _, r := range out {
+			if r.Err != nil || r.Skipped {
+				b.Fatalf("run %d: err=%v skip=%v", r.Index, r.Err, r.Skipped)
+			}
+		}
+	}
+}
+
+func BenchmarkSimulateBatchSequential(b *testing.B) { benchSimulateBatch(b, 1) }
+func BenchmarkSimulateBatchParallel(b *testing.B) {
+	benchSimulateBatch(b, runtime.GOMAXPROCS(0))
+}
+
+// benchCampaign compiles the examples/campaign manifest — the same
+// grid the CI smoke step and the walkthrough run.
+func benchCampaign(b *testing.B) *profirt.Campaign {
+	c, err := profirt.LoadCampaign("examples/campaign/manifest.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkCampaignColdStore measures a full campaign against a fresh
+// store: every job simulated and written through. Compare with
+// WarmResume below — their ratio is the warm-start speedup recorded in
+// BENCH_results.json (acceptance bar: warm measurably faster).
+func BenchmarkCampaignColdStore(b *testing.B) {
+	c := benchCampaign(b)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		path := filepath.Join(dir, fmt.Sprintf("cold-%d.jsonl", i))
+		store, err := profirt.OpenResultStore(path, c.Hash[:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := c.Run(profirt.CampaignRunOptions{Store: store})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if res.Executed != res.Jobs {
+			b.Fatalf("cold run executed %d of %d", res.Executed, res.Jobs)
+		}
+		store.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkCampaignWarmResume measures the same campaign against a
+// store that already holds every result: pure restore + reduce.
+func BenchmarkCampaignWarmResume(b *testing.B) {
+	c := benchCampaign(b)
+	path := filepath.Join(b.TempDir(), "warm.jsonl")
+	store, err := profirt.OpenResultStore(path, c.Hash[:])
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := c.Run(profirt.CampaignRunOptions{Store: store}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Run(profirt.CampaignRunOptions{Store: store})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Restored != res.Jobs {
+			b.Fatalf("warm run restored %d of %d", res.Restored, res.Jobs)
 		}
 	}
 }

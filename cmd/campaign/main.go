@@ -1,0 +1,173 @@
+// Command campaign runs durable, resumable sweep campaigns: a JSON
+// manifest describing a grid of networks × deadline scales × AP
+// dispatching policies × trials is compiled into content-addressed
+// simulation jobs whose results persist in a disk store, so a killed
+// run picks up where it left off and a repeated run is warm-started.
+//
+// Usage:
+//
+//	campaign run    -manifest sweep.json -dir out [-parallel N] [-format md] [-stop-after N]
+//	campaign resume -dir out [-parallel N] [-format md]
+//	campaign status -dir out
+//
+// run compiles the manifest, snapshots it into dir/manifest.json and
+// executes against the store dir/results.jsonl (creating both; an
+// existing directory must hold the same manifest). resume re-executes
+// from the snapshot — identical to re-running run, without needing the
+// original manifest path. status reports store coverage and exits.
+//
+// Completed rows stream to stderr the moment they settle (in grid
+// order); the final table goes to stdout. An interrupted run (SIGINT,
+// or -stop-after for testing) exits with status 3 after persisting
+// every completed job; resuming produces a table byte-identical to an
+// uninterrupted run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"profirt/internal/campaign"
+	"profirt/internal/memo"
+	"profirt/internal/stats"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against explicit streams so tests can pin the
+// exact bytes (and CI can byte-compare resumed vs uninterrupted runs).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("campaign "+cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	manifest := fs.String("manifest", "", "campaign manifest JSON (run only)")
+	dir := fs.String("dir", "", "campaign directory (manifest snapshot + result store)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker pool size (1 = sequential; tables are identical either way)")
+	format := fs.String("format", "md", "output format: plain, md or csv")
+	stopAfter := fs.Int("stop-after", 0,
+		"stop after N newly executed jobs (simulates a kill; used by tests/CI)")
+	if err := fs.Parse(rest); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *dir == "" {
+		fmt.Fprintln(stderr, "campaign: -dir is required")
+		return 2
+	}
+
+	var c *campaign.Campaign
+	var err error
+	switch cmd {
+	case "run":
+		if *manifest == "" {
+			fmt.Fprintln(stderr, "campaign run: -manifest is required")
+			return 2
+		}
+		if c, err = campaign.Load(*manifest); err != nil {
+			fmt.Fprintf(stderr, "campaign: %v\n", err)
+			return 1
+		}
+		if err = snapshotManifest(c, *dir); err != nil {
+			fmt.Fprintf(stderr, "campaign: %v\n", err)
+			return 1
+		}
+	case "resume", "status":
+		if c, err = campaign.Load(filepath.Join(*dir, "manifest.json")); err != nil {
+			fmt.Fprintf(stderr, "campaign: %v (did a run create this directory?)\n", err)
+			return 1
+		}
+	default:
+		usage(stderr)
+		return 2
+	}
+
+	store, err := memo.OpenStore(filepath.Join(*dir, "results.jsonl"), c.Hash[:])
+	if err != nil {
+		fmt.Fprintf(stderr, "campaign: %v\n", err)
+		return 1
+	}
+	defer store.Close()
+
+	if cmd == "status" {
+		rep := c.Status(store)
+		fmt.Fprintf(stdout, "campaign %s: %d/%d jobs done, %d/%d rows complete\n",
+			c.Manifest.Name, rep.Done, rep.Jobs, rep.RowsDone, rep.Rows)
+		return 0
+	}
+
+	res, err := c.Run(campaign.RunOptions{
+		Parallelism: *parallel,
+		Context:     ctx,
+		Store:       store,
+		Cache:       memo.New(0),
+		StopAfter:   *stopAfter,
+		RowSink: func(e stats.RowEvent) {
+			fmt.Fprintf(stderr, "row %d/%d: %s\n", e.Index+1, e.Total, strings.Join(e.Cells, "  "))
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "campaign: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "campaign %s: %d jobs (%d restored, %d executed, %d skipped); store: %d records\n",
+		c.Manifest.Name, res.Jobs, res.Restored, res.Executed, res.Skipped, store.Len())
+	if res.Skipped > 0 {
+		fmt.Fprintf(stderr, "campaign: interrupted with %d jobs pending; rerun `campaign resume -dir %s` to finish\n",
+			res.Skipped, *dir)
+		return 3
+	}
+	if err := stats.Render(stdout, res.Table, *format); err != nil {
+		fmt.Fprintf(stderr, "campaign: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// snapshotManifest persists the resolved manifest into dir so resume
+// and status need no external file; an existing snapshot must compile
+// to the same grid (hash equality) or the run is refused.
+func snapshotManifest(c *campaign.Campaign, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "manifest.json")
+	if raw, err := os.ReadFile(path); err == nil {
+		prev, err := campaign.Parse(raw)
+		if err != nil {
+			return fmt.Errorf("existing %s is not a valid manifest: %w", path, err)
+		}
+		if prev.Hash != c.Hash {
+			return fmt.Errorf("%s holds a different campaign; use a fresh -dir", dir)
+		}
+		return nil
+	}
+	raw, err := json.MarshalIndent(c.Manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: campaign {run|resume|status} [flags] (see -h per subcommand)")
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testManifest = `{
+  "name": "cli-test",
+  "seed": 3,
+  "trials": 2,
+  "policies": ["fcfs", "dm"],
+  "deadlineScales": [1.0, 0.4],
+  "networks": [{"name": "cell", "network": {
+    "ttr": 2000, "horizon": 300000,
+    "masters": [
+      {"addr": 1, "streams": [
+        {"name": "a", "slave": 30, "high": true, "period": 20000, "deadline": 15000},
+        {"name": "b", "slave": 30, "high": true, "period": 50000, "deadline": 40000}]},
+      {"addr": 2, "streams": [
+        {"name": "c", "slave": 31, "high": true, "period": 30000, "deadline": 25000}]}
+    ],
+    "slaves": [{"addr": 30, "tsdr": 30}, {"addr": 31, "tsdr": 60}]
+  }}]
+}`
+
+func writeManifest(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(testManifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(context.Background(), args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// TestRunKillResume is the end-to-end CLI contract (mirrored by the CI
+// smoke step): an uninterrupted run, a run killed mid-campaign, and
+// its resume must leave byte-identical tables on stdout, and the
+// resumed store must then warm-start a third run with zero executions.
+func TestRunKillResume(t *testing.T) {
+	manifest := writeManifest(t)
+	fullDir := filepath.Join(t.TempDir(), "full")
+	code, full, _ := runCLI(t, "run", "-manifest", manifest, "-dir", fullDir)
+	if code != 0 {
+		t.Fatalf("uninterrupted run exited %d", code)
+	}
+	if !strings.Contains(full, "campaign cli-test") {
+		t.Fatalf("no table on stdout:\n%s", full)
+	}
+
+	killDir := filepath.Join(t.TempDir(), "killed")
+	code, out, errOut := runCLI(t, "run", "-manifest", manifest, "-dir", killDir, "-parallel", "2", "-stop-after", "3")
+	if code != 3 {
+		t.Fatalf("interrupted run exited %d (stderr: %s)", code, errOut)
+	}
+	if out != "" {
+		t.Fatalf("interrupted run printed a table:\n%s", out)
+	}
+
+	code, _, errOut = runCLI(t, "status", "-dir", killDir)
+	if code != 0 || errOut != "" {
+		t.Fatalf("status exited %d (stderr %q)", code, errOut)
+	}
+
+	code, resumed, errOut := runCLI(t, "resume", "-dir", killDir)
+	if code != 0 {
+		t.Fatalf("resume exited %d (stderr: %s)", code, errOut)
+	}
+	if resumed != full {
+		t.Fatalf("resumed table differs from uninterrupted:\n--- resumed ---\n%s--- full ---\n%s", resumed, full)
+	}
+	if !strings.Contains(errOut, "restored") {
+		t.Fatalf("resume summary missing: %s", errOut)
+	}
+
+	code, warm, errOut := runCLI(t, "resume", "-dir", killDir)
+	if code != 0 || warm != full {
+		t.Fatalf("warm rerun: code %d\n%s", code, warm)
+	}
+	if !strings.Contains(errOut, "0 executed") {
+		t.Fatalf("warm rerun executed jobs: %s", errOut)
+	}
+}
+
+func TestRowStreamingOnStderr(t *testing.T) {
+	manifest := writeManifest(t)
+	dir := filepath.Join(t.TempDir(), "c")
+	code, _, errOut := runCLI(t, "run", "-manifest", manifest, "-dir", dir)
+	if code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	for i := 1; i <= 2; i++ {
+		if !strings.Contains(errOut, "row "+string(rune('0'+i))+"/2") {
+			t.Fatalf("row %d/2 not streamed:\n%s", i, errOut)
+		}
+	}
+}
+
+func TestRefusesForeignDir(t *testing.T) {
+	manifest := writeManifest(t)
+	dir := filepath.Join(t.TempDir(), "c")
+	if code, _, _ := runCLI(t, "run", "-manifest", manifest, "-dir", dir); code != 0 {
+		t.Fatal("seed run failed")
+	}
+	other := strings.Replace(testManifest, `"seed": 3`, `"seed": 4`, 1)
+	otherPath := filepath.Join(t.TempDir(), "other.json")
+	if err := os.WriteFile(otherPath, []byte(other), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runCLI(t, "run", "-manifest", otherPath, "-dir", dir)
+	if code == 0 {
+		t.Fatalf("run accepted a foreign directory:\n%s", errOut)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"run", "-dir", "x"},
+		{"frobnicate", "-dir", "x"},
+		{"run", "-manifest", "x"},
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v: exit code != 2", args)
+		}
+	}
+	if code, _, _ := runCLI(t, "resume", "-dir", filepath.Join(t.TempDir(), "nope")); code != 1 {
+		t.Error("resume of a missing dir should exit 1")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 
 	"profirt/internal/experiments"
@@ -68,11 +69,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if !*quick {
 		// Full-size runs take minutes per experiment; stream per-job
-		// completion events to stderr so the run is observable while
-		// the tables (which must assemble in deterministic grid order)
-		// are still being built. Quick runs stay silent — the golden
-		// test pins their stdout AND stderr byte-for-byte.
+		// completion events and finished table rows to stderr so the
+		// run is observable while the tables (which must assemble in
+		// deterministic grid order) are still being built. Quick runs
+		// stay silent — the golden test pins their stdout AND stderr
+		// byte-for-byte.
 		cfg.Progress = progressSink(stderr)
+		cfg.RowSink = rowSink(stderr)
 	}
 
 	var toRun []experiments.Experiment
@@ -90,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, e := range toRun {
 		fmt.Fprintf(stdout, "## %s — %s (%s)\n\n", e.ID, e.Title, e.Anchor)
 		for _, t := range e.Run(cfg) {
-			if err := render(stdout, t, *format); err != nil {
+			if err := stats.Render(stdout, t, *format); err != nil {
 				fmt.Fprintf(stderr, "experiments: %v\n", err)
 				return 1
 			}
@@ -132,15 +135,16 @@ func progressSink(w io.Writer) func(experiments.ProgressEvent) {
 	}
 }
 
-func render(w io.Writer, t *stats.Table, format string) error {
-	switch format {
-	case "plain":
-		return t.WritePlain(w)
-	case "md":
-		return t.WriteMarkdown(w)
-	case "csv":
-		return t.WriteCSV(w)
-	default:
-		return fmt.Errorf("unknown format %q", format)
+// rowSink streams each finished table row to w the moment the
+// experiment harness releases it (rows arrive in grid order, while
+// later cells are still running). Events for one table are already
+// serialised by the row streamer; the mutex only interleaves lines of
+// concurrently assembling tables cleanly.
+func rowSink(w io.Writer) func(stats.RowEvent) {
+	var mu sync.Mutex
+	return func(ev stats.RowEvent) {
+		mu.Lock()
+		fmt.Fprintf(w, "%s row %d/%d: %s\n", ev.Table.Title, ev.Index+1, ev.Total, strings.Join(ev.Cells, "  "))
+		mu.Unlock()
 	}
 }

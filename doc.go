@@ -34,7 +34,28 @@
 //     TopologyOptions.Cache or HolisticConfig.Cache; results are
 //     byte-identical with or without a cache (property-tested), the
 //     table is sharded and safe to share between concurrent callers,
-//     and memory is bounded with random-replacement eviction;
+//     and memory is bounded with random-replacement eviction. An
+//     optional hit-rate policy (AnalysisCache.SetAutoDisable) latches
+//     the cache off after a configurable number of lookups below a
+//     hit-rate threshold, so all-distinct batches stop paying for key
+//     hashing entirely;
+//   - batch simulation: SimulateBatch fans many independent network
+//     simulations across the shared bounded worker pool with per-run
+//     seeds Seed ⊕ FNV-1a(index), so a batch is a pure function of
+//     (configs, base seed) — byte-identical at any Parallelism — with
+//     context cancellation and per-run completion callbacks;
+//   - durable sweep campaigns: a JSON manifest describing a grid of
+//     networks × deadline scales × dispatching policies × trials
+//     compiles (internal/campaign) into content-addressed jobs — each
+//     key the SHA-256 of its fully resolved simulator configuration —
+//     executed via SimulateBatch and written through a ResultStore,
+//     an append-only, integrity-hashed JSONL file. A killed campaign
+//     resumes from its completed jobs, a repeated campaign against the
+//     same store is warm-started, and in both cases the assembled
+//     table is byte-identical to an uninterrupted run. Table rows
+//     stream through a grid-ordered sink (the same row-streaming
+//     assembly the experiment harness uses) the moment each row's last
+//     job settles. cmd/campaign exposes run/resume/status;
 //   - multi-segment topologies: several token rings coupled by
 //     store-and-forward bridges that relay selected high-priority
 //     streams across rings. A relayed stream inherits its source's

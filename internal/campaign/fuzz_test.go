@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"testing"
+)
+
+// FuzzParseCampaign hardens the manifest front door: whatever bytes
+// arrive, Parse must either return an error or hand back a compiled
+// campaign whose grid is internally consistent — bounded job count,
+// jobs in index order feeding valid rows, every job carrying a
+// buildable simulator configuration. Parse never touches the
+// filesystem (file references are a Load-only feature), so the fuzzer
+// cannot be steered into reads. Run the full fuzzer with
+//
+//	go test -run '^$' -fuzz '^FuzzParseCampaign$' ./internal/campaign
+//
+// (the checked-in corpus under testdata/fuzz plus the seeds below run
+// as plain subtests in every ordinary `go test`).
+func FuzzParseCampaign(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name": "x", "trials": 1, "networks": []}`))
+	f.Add([]byte(`{"name": "sweep", "seed": 7, "trials": 2,
+		"policies": ["fcfs", "dm"], "deadlineScales": [1.0, 0.5],
+		"networks": [{"name": "a", "network": {"ttr": 2000,
+			"masters": [{"addr": 1, "streams": [
+				{"name": "s", "slave": 30, "high": true, "period": 20000, "deadline": 15000}]}],
+			"slaves": [{"addr": 30, "tsdr": 30}]}}]}`))
+	f.Add([]byte(`{"trials": 4096, "deadlineScales": [1e7], "networks": [{"file": "ref.json"}]}`))
+	f.Add([]byte(`{"trials": 1, "horizon": -1, "policies": ["rm"], "networks": [{"network": {}}]}`))
+	f.Add([]byte(`{"trials": 2, "networks": [
+		{"name": "n", "network": {"ttr": 1, "jitter": "bogus"}},
+		{"name": "n", "network": {"ttr": 1}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		c2, err2 := Parse(data)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("Parse is nondeterministic: %v vs %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if c.Hash != c2.Hash {
+			t.Fatalf("Parse hashes nondeterministically on: %s", data)
+		}
+		m := c.Manifest
+		wantJobs := len(m.Networks) * len(m.DeadlineScales) * len(m.Policies) * m.Trials
+		if wantJobs > maxJobs {
+			t.Fatalf("compiled grid exceeds the job bound: %d", wantJobs)
+		}
+		jobs := c.Jobs()
+		if len(jobs) != wantJobs {
+			t.Fatalf("compiled %d jobs, want %d\ninput: %s", len(jobs), wantJobs, data)
+		}
+		for i, j := range jobs {
+			if j.Index != i {
+				t.Fatalf("job %d carries Index %d", i, j.Index)
+			}
+			if j.Row < 0 || j.Row >= c.Rows() {
+				t.Fatalf("job %d carries row %d of %d", i, j.Row, c.Rows())
+			}
+			if verr := j.Config.Validate(); verr != nil {
+				t.Fatalf("Parse accepted a job config its validator rejects: %v\ninput: %s", verr, data)
+			}
+		}
+	})
+}

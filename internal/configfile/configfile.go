@@ -209,11 +209,22 @@ func Load(path string) (core.Network, profibus.Config, error) {
 
 // Parse builds a network description from JSON bytes.
 func Parse(raw []byte) (core.Network, profibus.Config, error) {
+	f, err := Decode(raw)
+	if err != nil {
+		return core.Network{}, profibus.Config{}, err
+	}
+	return f.Build()
+}
+
+// Decode unmarshals a network description without building it, for
+// callers that embed File in a larger schema (the campaign manifest
+// inlines one File per swept network) and build later.
+func Decode(raw []byte) (*File, error) {
 	var f File
 	dec := json.NewDecoder(strings.NewReader(string(raw)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
-		return core.Network{}, profibus.Config{}, fmt.Errorf("configfile: %w", err)
+		return nil, fmt.Errorf("configfile: %w", err)
 	}
-	return f.Build()
+	return &f, nil
 }

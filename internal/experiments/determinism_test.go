@@ -4,9 +4,11 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"profirt/internal/memo"
+	"profirt/internal/stats"
 )
 
 // render renders every table an experiment produces into one string,
@@ -47,15 +49,16 @@ func TestParallelismDeterminism(t *testing.T) {
 
 // TestTrialShardingDeterminism is the regression gate for trial-level
 // sharding: with per-trial sub-jobs forced on (TrialShardMin 1), the
-// E1–E5 tables must be byte-identical at Parallelism 1, 2 and
-// GOMAXPROCS — every trial owns an RNG seeded cellSeed ⊕ FNV(trial)
-// and the reducers fold per-trial slots in trial order, so scheduling
-// cannot leak into any number.
+// tables of every trial-sharded driver — E1–E5 plus the E6/E7/E9/E10
+// message-level sweeps sharded in this PR — must be byte-identical at
+// Parallelism 1, 2 and GOMAXPROCS: every trial owns an RNG seeded
+// cellSeed ⊕ FNV(trial) and the reducers fold per-trial slots in trial
+// order, so scheduling cannot leak into any number.
 func TestTrialShardingDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow; skipped with -short")
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E9", "E10"} {
 		e, ok := ByID(id)
 		if !ok {
 			t.Fatalf("%s missing", id)
@@ -156,6 +159,68 @@ func TestCachedExperimentsDeterminism(t *testing.T) {
 			}
 			if s := cached.Cache.Stats(); s.Hits+s.Misses == 0 {
 				t.Errorf("cache never consulted (stats %+v); the driver is not threading Config.Cache", s)
+			}
+		})
+	}
+}
+
+// TestRowStreaming is the row-streaming contract: for every
+// experiment, cfg.RowSink must see each streamed table's rows in
+// strict grid order, with cells equal to the assembled table's rows —
+// while the tables themselves stay byte-identical to a sink-less run.
+func TestRowStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			plain := render(e, QuickConfig())
+
+			var mu sync.Mutex
+			next := map[*stats.Table]int{}
+			streamed := map[*stats.Table][][]string{}
+			cfg := QuickConfig()
+			cfg.Parallelism = 8
+			cfg.RowSink = func(ev stats.RowEvent) {
+				mu.Lock()
+				defer mu.Unlock()
+				if ev.Index != next[ev.Table] {
+					t.Errorf("table %q: row %d streamed out of order (want %d)", ev.Table.Title, ev.Index, next[ev.Table])
+				}
+				next[ev.Table]++
+				streamed[ev.Table] = append(streamed[ev.Table], ev.Cells)
+			}
+			var sb strings.Builder
+			var tables []*stats.Table
+			for _, tab := range e.Run(cfg) {
+				tables = append(tables, tab)
+				sb.WriteString(tab.String())
+				sb.WriteString("\n")
+			}
+			if got := sb.String(); got != plain {
+				t.Errorf("tables differ with a row sink attached:\n--- sink ---\n%s--- plain ---\n%s", got, plain)
+			}
+			seen := 0
+			for _, tab := range tables {
+				rows, ok := streamed[tab]
+				if !ok {
+					continue // small direct-assembly tables (E6b, E12b) do not stream
+				}
+				seen++
+				if len(rows) != tab.NumRows() {
+					t.Fatalf("table %q: sink saw %d rows, table has %d", tab.Title, len(rows), tab.NumRows())
+				}
+				for i, cells := range rows {
+					want := tab.Row(i)
+					if strings.Join(cells, "\x00") != strings.Join(want, "\x00") {
+						t.Fatalf("table %q row %d: sink cells %v != table row %v", tab.Title, i, cells, want)
+					}
+				}
+			}
+			if seen == 0 {
+				t.Fatalf("%s streamed no tables", e.ID)
 			}
 		})
 	}

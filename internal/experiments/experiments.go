@@ -47,6 +47,19 @@ type Config struct {
 	// and must be safe for that; keep it cheap. Used by cmd/experiments
 	// to stream progress for full-size runs.
 	Progress func(ProgressEvent)
+	// RowSink, when non-nil, receives each table row the moment its
+	// grid cell's reduction completes, in grid order (stats.RowEvent
+	// carries the table, row index and formatted cells). Rows stream
+	// while later cells are still running; the assembled tables are
+	// byte-identical with or without a sink. Like Progress it is called
+	// from worker goroutines and must be cheap and concurrency-safe.
+	RowSink func(stats.RowEvent)
+}
+
+// rows wires a grid-ordered row streamer for table t with n rows,
+// forwarding released rows to cfg.RowSink.
+func (cfg Config) rows(t *stats.Table, n int) *stats.RowStreamer {
+	return stats.NewRowStreamer(t, n, cfg.RowSink)
 }
 
 // ProgressEvent reports one completed unit of experiment work.

@@ -80,7 +80,7 @@ func E13Holistic(cfg Config) []*stats.Table {
 			cells = append(cells, cell{pol, sc})
 		}
 	}
-	rows := make([][]any, len(cells))
+	rs := cfg.rows(t, len(cells))
 	forEachCell(cfg, "E13", len(cells), func(ci int, _ *rand.Rand) {
 		c := cells[ci]
 		hcfg := e13Config(c.pol, c.scale)
@@ -90,11 +90,10 @@ func E13Holistic(cfg Config) []*stats.Table {
 			panic(err)
 		}
 		b := res.Transactions[0].Breakdown // tightest: pressure
-		rows[ci] = []any{c.pol.String(), fmt.Sprintf("%.0fx", c.scale), res.Iterations,
+		rs.Emit(ci, c.pol.String(), fmt.Sprintf("%.0fx", c.scale), res.Iterations,
 			b.Generation, b.Queuing, b.Cycle, b.Delivery,
-			b.Total(), res.Schedulable}
+			b.Total(), res.Schedulable)
 	})
-	addRows(t, rows)
 	t.Note = "g grows with host load, which feeds message jitter (Sec. 4.1) and delivery jitter; the fixed point propagates all couplings"
 	return []*stats.Table{t}
 }

@@ -32,59 +32,76 @@ func E9DMMessageRTA(cfg Config) []*stats.Table {
 		"jitter", "streams", "literal violations", "revised violations", "max sim/revised", "mean revised/literal")
 	t.Note = "a literal violation = simulated response above the paper's Eq. 16 bound (its optimistic corner cases)"
 	jitters := []core.Ticks{0, 2_000}
-	rows := make([][]any, len(jitters))
-	forEachCell(cfg, "E9", len(jitters), func(ci int, rng *rand.Rand) {
-		jit := jitters[ci]
+	type trialResult struct {
+		litViol, revViol, streams int
+		maxRatio                  float64
+		// rels holds every rev/lit ratio in stream order so the reducer
+		// can fold the mean's sum in exactly the historical order (see
+		// E2's trialResult).
+		rels []float64
+	}
+	res := make([]trialResult, len(jitters)*cfg.Trials)
+	rs := cfg.rows(t, len(jitters))
+	forEachCellTrialReduced(cfg, "E9", len(jitters), func(ci, trial int, rng *rand.Rand) {
+		r := &res[ci*cfg.Trials+trial]
 		p := msgParams(ap.DM)
-		p.MaxJitter = jit
-		litViol, revViol, streams := 0, 0, 0
-		maxRatio, sumRel := 0.0, 0.0
-		cmp := 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			net, sim := workload.StreamSet(rng, p)
-			tc := net.TokenCycle()
-			okRev, _ := memo.DMSchedulable(cfg.Cache, net, core.DMOptions{})
-			if !okRev {
-				continue
-			}
-			res, err := profibus.Simulate(sim)
-			if err != nil {
-				panic(err)
-			}
-			for mi, m := range net.Masters {
-				lit := memo.DMResponseTimes(cfg.Cache, m.High, tc, core.DMOptions{Literal: true})
-				rev := memo.DMResponseTimes(cfg.Cache, m.High, tc, core.DMOptions{
-					BlockingFromLowPriority: m.LongestLow > 0,
-				})
-				for si := range m.High {
-					st := res.PerMaster[mi].PerStream[si]
-					streams++
-					if lit[si] != timeunit.MaxTicks && st.WorstResponse > lit[si] {
-						litViol++
+		p.MaxJitter = jitters[ci]
+		net, sim := workload.StreamSet(rng, p)
+		tc := net.TokenCycle()
+		okRev, _ := memo.DMSchedulable(cfg.Cache, net, core.DMOptions{})
+		if !okRev {
+			return
+		}
+		simres, err := profibus.Simulate(sim)
+		if err != nil {
+			panic(err)
+		}
+		for mi, m := range net.Masters {
+			lit := memo.DMResponseTimes(cfg.Cache, m.High, tc, core.DMOptions{Literal: true})
+			rev := memo.DMResponseTimes(cfg.Cache, m.High, tc, core.DMOptions{
+				BlockingFromLowPriority: m.LongestLow > 0,
+			})
+			for si := range m.High {
+				st := simres.PerMaster[mi].PerStream[si]
+				r.streams++
+				if lit[si] != timeunit.MaxTicks && st.WorstResponse > lit[si] {
+					r.litViol++
+				}
+				if rev[si] != timeunit.MaxTicks {
+					if st.WorstResponse > rev[si] {
+						r.revViol++
 					}
-					if rev[si] != timeunit.MaxTicks {
-						if st.WorstResponse > rev[si] {
-							revViol++
-						}
-						if r := float64(st.WorstResponse) / float64(rev[si]); r > maxRatio {
-							maxRatio = r
-						}
-					}
-					if lit[si] != timeunit.MaxTicks && rev[si] != timeunit.MaxTicks && lit[si] > 0 {
-						sumRel += float64(rev[si]) / float64(lit[si])
-						cmp++
+					if ratio := float64(st.WorstResponse) / float64(rev[si]); ratio > r.maxRatio {
+						r.maxRatio = ratio
 					}
 				}
+				if lit[si] != timeunit.MaxTicks && rev[si] != timeunit.MaxTicks && lit[si] > 0 {
+					r.rels = append(r.rels, float64(rev[si])/float64(lit[si]))
+				}
+			}
+		}
+	}, func(ci int) {
+		litViol, revViol, streams, cmp := 0, 0, 0, 0
+		maxRatio, sumRel := 0.0, 0.0
+		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
+			litViol += r.litViol
+			revViol += r.revViol
+			streams += r.streams
+			if r.maxRatio > maxRatio {
+				maxRatio = r.maxRatio
+			}
+			for _, rel := range r.rels {
+				sumRel += rel
+				cmp++
 			}
 		}
 		meanRel := 0.0
 		if cmp > 0 {
 			meanRel = sumRel / float64(cmp)
 		}
-		rows[ci] = []any{jit, streams, litViol, revViol,
-			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel)}
+		rs.Emit(ci, jitters[ci], streams, litViol, revViol,
+			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel))
 	})
-	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -94,58 +111,74 @@ func E10EDFMessageRTA(cfg Config) []*stats.Table {
 	t := stats.NewTable("E10: EDF message RTA (Eqs. 17–18) vs simulation + refined T_cycle ablation",
 		"jitter", "streams", "violations", "max sim/bound", "mean refined/literal bound")
 	jitters := []core.Ticks{0, 2_000}
-	rows := make([][]any, len(jitters))
-	forEachCell(cfg, "E10", len(jitters), func(ci int, rng *rand.Rand) {
-		jit := jitters[ci]
+	type trialResult struct {
+		violations, streams int
+		maxRatio            float64
+		// rels holds every refined/literal-bound ratio in stream order
+		// (historical fold order; see E2's trialResult).
+		rels []float64
+	}
+	res := make([]trialResult, len(jitters)*cfg.Trials)
+	rs := cfg.rows(t, len(jitters))
+	forEachCellTrialReduced(cfg, "E10", len(jitters), func(ci, trial int, rng *rand.Rand) {
+		r := &res[ci*cfg.Trials+trial]
 		p := msgParams(ap.EDF)
-		p.MaxJitter = jit
+		p.MaxJitter = jitters[ci]
 		p.LowPriorityLoad = true
+		net, sim := workload.StreamSet(rng, p)
+		ok, verdicts := memo.EDFSchedulableNet(cfg.Cache, net, core.EDFOptions{})
+		if !ok {
+			return
+		}
+		simres, err := profibus.Simulate(sim)
+		if err != nil {
+			panic(err)
+		}
+		// Refined-T_cycle ablation: recompute bounds with the
+		// tighter rotation bound.
+		tcRef := net.RefinedTokenCycle()
+		vi := 0
+		for mi, m := range net.Masters {
+			ref := memo.EDFResponseTimes(cfg.Cache, m.High, tcRef, core.EDFOptions{
+				BlockingFromLowPriority: m.LongestLow > 0,
+			})
+			for si := range m.High {
+				st := simres.PerMaster[mi].PerStream[si]
+				bound := verdicts[vi].R
+				vi++
+				r.streams++
+				if st.WorstResponse > bound {
+					r.violations++
+				}
+				if ratio := float64(st.WorstResponse) / float64(bound); ratio > r.maxRatio {
+					r.maxRatio = ratio
+				}
+				if ref[si] != timeunit.MaxTicks && bound > 0 {
+					r.rels = append(r.rels, float64(ref[si])/float64(bound))
+				}
+			}
+		}
+	}, func(ci int) {
 		violations, streams, cmp := 0, 0, 0
 		maxRatio, sumRel := 0.0, 0.0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			net, sim := workload.StreamSet(rng, p)
-			ok, verdicts := memo.EDFSchedulableNet(cfg.Cache, net, core.EDFOptions{})
-			if !ok {
-				continue
+		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
+			violations += r.violations
+			streams += r.streams
+			if r.maxRatio > maxRatio {
+				maxRatio = r.maxRatio
 			}
-			res, err := profibus.Simulate(sim)
-			if err != nil {
-				panic(err)
-			}
-			// Refined-T_cycle ablation: recompute bounds with the
-			// tighter rotation bound.
-			tcRef := net.RefinedTokenCycle()
-			vi := 0
-			for mi, m := range net.Masters {
-				ref := memo.EDFResponseTimes(cfg.Cache, m.High, tcRef, core.EDFOptions{
-					BlockingFromLowPriority: m.LongestLow > 0,
-				})
-				for si := range m.High {
-					st := res.PerMaster[mi].PerStream[si]
-					bound := verdicts[vi].R
-					vi++
-					streams++
-					if st.WorstResponse > bound {
-						violations++
-					}
-					if r := float64(st.WorstResponse) / float64(bound); r > maxRatio {
-						maxRatio = r
-					}
-					if ref[si] != timeunit.MaxTicks && bound > 0 {
-						sumRel += float64(ref[si]) / float64(bound)
-						cmp++
-					}
-				}
+			for _, rel := range r.rels {
+				sumRel += rel
+				cmp++
 			}
 		}
 		meanRel := 0.0
 		if cmp > 0 {
 			meanRel = sumRel / float64(cmp)
 		}
-		rows[ci] = []any{jit, streams, violations,
-			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel)}
+		rs.Emit(ci, jitters[ci], streams, violations,
+			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel))
 	})
-	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -176,7 +209,7 @@ func E11PolicyComparison(cfg Config) []*stats.Table {
 		n, c := workload.StreamSet(rng, p)
 		base[i] = scenario{n, c}
 	}
-	rows := make([][]any, len(scales))
+	rs := cfg.rows(t, len(scales))
 	forEachCell(cfg, "E11", len(scales), func(ci int, _ *rand.Rand) {
 		scale := scales[ci]
 		var accF, accD, accE, okF, okD, okE int
@@ -209,11 +242,10 @@ func E11PolicyComparison(cfg Config) []*stats.Table {
 			}
 		}
 		n := len(base)
-		rows[ci] = []any{fmt.Sprintf("%.2f", scale),
+		rs.Emit(ci, fmt.Sprintf("%.2f", scale),
 			stats.Ratio{K: accF, N: n}, stats.Ratio{K: accD, N: n}, stats.Ratio{K: accE, N: n},
-			stats.Ratio{K: okF, N: n}, stats.Ratio{K: okD, N: n}, stats.Ratio{K: okE, N: n}}
+			stats.Ratio{K: okF, N: n}, stats.Ratio{K: okD, N: n}, stats.Ratio{K: okE, N: n})
 	})
-	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -233,7 +265,7 @@ func E12JitterEndToEnd(cfg Config) []*stats.Table {
 	if cfg.Quick {
 		fractions = []float64{0, 0.2, 0.5}
 	}
-	rows := make([][]any, len(fractions))
+	rs := cfg.rows(t, len(fractions))
 	forEachCell(cfg, "E12", len(fractions), func(ci int, _ *rand.Rand) {
 		f := fractions[ci]
 		streams := append([]core.Stream(nil), base...)
@@ -242,9 +274,8 @@ func E12JitterEndToEnd(cfg Config) []*stats.Table {
 		}
 		dm := memo.DMResponseTimes(cfg.Cache, streams, tc, core.DMOptions{})
 		edf := memo.EDFResponseTimes(cfg.Cache, streams, tc, core.EDFOptions{})
-		rows[ci] = []any{fmt.Sprintf("%.1f", f), dm[0], dm[2], edf[0], edf[2]}
+		rs.Emit(ci, fmt.Sprintf("%.1f", f), dm[0], dm[2], edf[0], edf[2])
 	})
-	addRows(t, rows)
 
 	t2 := stats.NewTable("E12b: end-to-end decomposition E = g + Q + C + d (tightest stream, J/T = 0.2)",
 		"component", "bit times")

@@ -21,41 +21,49 @@ func E6TokenCycleBound(cfg Config) []*stats.Table {
 	if cfg.Quick {
 		sizes = []int{2, 4}
 	}
-	rows := make([][]any, len(sizes))
-	forEachCell(cfg, "E6", len(sizes), func(ci int, rng *rand.Rand) {
-		masters := sizes[ci]
-		var worst, bound, refined core.Ticks
-		violations := 0
+	const e6TTR = core.Ticks(8_000)
+	type trialResult struct {
+		worst, bound, refined core.Ticks
+		violation             bool
+	}
+	res := make([]trialResult, len(sizes)*cfg.Trials)
+	rs := cfg.rows(t, len(sizes))
+	forEachCellTrialReduced(cfg, "E6", len(sizes), func(ci, trial int, rng *rand.Rand) {
+		r := &res[ci*cfg.Trials+trial]
 		p := workload.DefaultStreamSetParams()
-		p.Masters = masters
+		p.Masters = sizes[ci]
 		p.StreamsPerMaster = 2
 		p.LowPriorityLoad = true
-		p.TTR = 8_000
-		for trial := 0; trial < cfg.Trials; trial++ {
-			net, sim := workload.StreamSet(rng, p)
-			res, err := profibus.Simulate(sim)
-			if err != nil {
-				panic(err)
+		p.TTR = e6TTR
+		net, sim := workload.StreamSet(rng, p)
+		sr, err := profibus.Simulate(sim)
+		if err != nil {
+			panic(err)
+		}
+		r.worst = sr.WorstTRR()
+		r.bound = net.TokenCycle()
+		r.refined = net.RefinedTokenCycle()
+		r.violation = r.worst > r.bound
+	}, func(ci int) {
+		var worst, bound, refined core.Ticks
+		violations := 0
+		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
+			if r.worst > worst {
+				worst = r.worst
 			}
-			b := net.TokenCycle()
-			r := net.RefinedTokenCycle()
-			if res.WorstTRR() > worst {
-				worst = res.WorstTRR()
+			if r.bound > bound {
+				bound = r.bound
 			}
-			if b > bound {
-				bound = b
+			if r.refined > refined {
+				refined = r.refined
 			}
-			if r > refined {
-				refined = r
-			}
-			if res.WorstTRR() > b {
+			if r.violation {
 				violations++
 			}
 		}
-		rows[ci] = []any{masters, p.TTR, worst, bound, refined,
-			ratioCell(float64(worst), float64(bound)), violations}
+		rs.Emit(ci, sizes[ci], e6TTR, worst, bound, refined,
+			ratioCell(float64(worst), float64(bound)), violations)
 	})
-	addRows(t, rows)
 
 	// Section 3.3 scenario: an idle rotation, then master 1 overruns
 	// with its longest (low-priority) cycle and every follower uses the
@@ -63,7 +71,7 @@ func E6TokenCycleBound(cfg Config) []*stats.Table {
 	t2 := stats.NewTable("E6b: Sec. 3.3 overrun cascade",
 		"quantity", "value (bit times)")
 	net, sim := workload.DCCSCell(ap.FCFS, 3_000)
-	res, err := profibus.Simulate(sim)
+	cascade, err := profibus.Simulate(sim)
 	if err != nil {
 		panic(err)
 	}
@@ -71,9 +79,9 @@ func E6TokenCycleBound(cfg Config) []*stats.Table {
 	t2.AddRow("T_del (Eq. 13)", net.TokenDelay())
 	t2.AddRow("T_cycle (Eq. 14)", net.TokenCycle())
 	t2.AddRow("refined T_cycle", net.RefinedTokenCycle())
-	t2.AddRow("worst simulated TRR", res.WorstTRR())
+	t2.AddRow("worst simulated TRR", cascade.WorstTRR())
 	var overruns, late int64
-	for _, m := range res.PerMaster {
+	for _, m := range cascade.PerMaster {
 		overruns += m.TTHOverruns
 		late += m.LateTokens
 	}
@@ -91,48 +99,64 @@ func E7FCFSBound(cfg Config) []*stats.Table {
 	if cfg.Quick {
 		grid = grid[:2]
 	}
-	rows := make([][]any, len(grid))
-	forEachCell(cfg, "E7", len(grid), func(ci int, rng *rand.Rand) {
+	type trialResult struct {
+		schedulable        bool
+		violations, misses int
+		maxRatio           float64
+	}
+	res := make([]trialResult, len(grid)*cfg.Trials)
+	rs := cfg.rows(t, len(grid))
+	forEachCellTrialReduced(cfg, "E7", len(grid), func(ci, trial int, rng *rand.Rand) {
 		g := grid[ci]
+		r := &res[ci*cfg.Trials+trial]
 		p := workload.DefaultStreamSetParams()
 		p.Masters, p.StreamsPerMaster = g.m, g.s
 		p.TTR = 4_000
 		p.PeriodMin, p.PeriodMax = 60_000, 200_000
 		p.DeadlineRatioMin = 0.8
-		schedulable, violations, misses := 0, 0, 0
-		maxRatio := 0.0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			net, sim := workload.StreamSet(rng, p)
-			ok, verdicts := core.FCFSSchedulable(net)
-			if !ok {
-				continue
-			}
-			schedulable++
-			res, err := profibus.Simulate(sim)
-			if err != nil {
-				panic(err)
-			}
-			vi := 0
-			for _, m := range res.PerMaster {
-				for _, st := range m.PerStream {
-					bound := verdicts[vi].R
-					vi++
-					if st.WorstResponse > bound {
-						violations++
-					}
-					if st.Missed > 0 {
-						misses++
-					}
-					if r := float64(st.WorstResponse) / float64(bound); r > maxRatio {
-						maxRatio = r
-					}
+		net, sim := workload.StreamSet(rng, p)
+		ok, verdicts := core.FCFSSchedulable(net)
+		if !ok {
+			return
+		}
+		r.schedulable = true
+		sr, err := profibus.Simulate(sim)
+		if err != nil {
+			panic(err)
+		}
+		vi := 0
+		for _, m := range sr.PerMaster {
+			for _, st := range m.PerStream {
+				bound := verdicts[vi].R
+				vi++
+				if st.WorstResponse > bound {
+					r.violations++
+				}
+				if st.Missed > 0 {
+					r.misses++
+				}
+				if ratio := float64(st.WorstResponse) / float64(bound); ratio > r.maxRatio {
+					r.maxRatio = ratio
 				}
 			}
 		}
-		rows[ci] = []any{g.m, g.s, stats.Ratio{K: schedulable, N: cfg.Trials},
-			fmt.Sprintf("%.3f", maxRatio), violations, misses}
+	}, func(ci int) {
+		g := grid[ci]
+		schedulable, violations, misses := 0, 0, 0
+		maxRatio := 0.0
+		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
+			if r.schedulable {
+				schedulable++
+			}
+			violations += r.violations
+			misses += r.misses
+			if r.maxRatio > maxRatio {
+				maxRatio = r.maxRatio
+			}
+		}
+		rs.Emit(ci, g.m, g.s, stats.Ratio{K: schedulable, N: cfg.Trials},
+			fmt.Sprintf("%.3f", maxRatio), violations, misses)
 	})
-	addRows(t, rows)
 	return []*stats.Table{t}
 }
 
@@ -153,7 +177,7 @@ func E8TTRSetting(cfg Config) []*stats.Table {
 	if cfg.Quick {
 		factors = []float64{0.5, 1.0, 2.0}
 	}
-	rows := make([][]any, len(factors))
+	rs := cfg.rows(t, len(factors))
 	forEachCell(cfg, "E8", len(factors), func(ci int, _ *rand.Rand) {
 		f := factors[ci]
 		ttr := core.Ticks(float64(bound) * f)
@@ -182,10 +206,9 @@ func E8TTRSetting(cfg Config) []*stats.Table {
 				vi++
 			}
 		}
-		rows[ci] = []any{fmt.Sprintf("%.1f", f), ttr, ok, misses,
-			fmt.Sprintf("%v / %v", worstR, worstD)}
+		rs.Emit(ci, fmt.Sprintf("%.1f", f), ttr, ok, misses,
+			fmt.Sprintf("%v / %v", worstR, worstD))
 	})
-	addRows(t, rows)
 	t.Note = fmt.Sprintf("Eq. 15 bound for the cell: TTR ≤ %d bit times", bound)
 	return []*stats.Table{t}
 }

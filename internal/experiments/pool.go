@@ -113,6 +113,31 @@ func trialSeed(seed int64, experimentID string, cell, trial int) int64 {
 // write only to state owned by its (cell, trial) slot; aggregation
 // over trials happens after this returns, in trial order, so tables
 // are byte-identical at any Parallelism.
+// forEachCellTrialReduced is forEachCellTrial plus per-cell completion:
+// reduce(cell) runs exactly once per cell, on whichever worker finishes
+// the cell's last trial, the moment that trial completes. By then every
+// write of the cell's earlier trials is visible (the atomic countdown
+// orders them), so reduce may fold the cell's per-trial slots in trial
+// order and emit the cell's table row immediately — this is what turns
+// the trial-sharded drivers into row-streaming ones. Reductions of
+// different cells may run concurrently; reduce must only touch state
+// owned by its cell plus concurrency-safe sinks (stats.RowStreamer).
+func forEachCellTrialReduced(cfg Config, experimentID string, nCells int, fn func(cell, trial int, rng *rand.Rand), reduce func(cell int)) {
+	if cfg.Trials <= 0 {
+		return
+	}
+	remaining := make([]atomic.Int32, nCells)
+	for i := range remaining {
+		remaining[i].Store(int32(cfg.Trials))
+	}
+	forEachCellTrial(cfg, experimentID, nCells, func(cell, trial int, rng *rand.Rand) {
+		fn(cell, trial, rng)
+		if remaining[cell].Add(-1) == 0 {
+			reduce(cell)
+		}
+	})
+}
+
 func forEachCellTrial(cfg Config, experimentID string, nCells int, fn func(cell, trial int, rng *rand.Rand)) {
 	if cfg.Trials <= 0 {
 		return

@@ -43,12 +43,12 @@ func nuGrid(quick bool) []nuCell {
 	return cells
 }
 
-// addRows appends the per-cell rows to t in grid order.
-func addRows(t *stats.Table, rows [][]any) {
-	for _, r := range rows {
-		t.AddRow(r...)
-	}
-}
+// The drivers stream rows: each grid cell's row is handed to a
+// stats.RowStreamer (cfg.rows) the moment the cell's reduction
+// completes, and the streamer releases rows in grid order — so a
+// consumer (cmd/experiments -v runs, the campaign CLI) sees finished
+// rows while later cells still compute, and the assembled table is
+// byte-identical to the historical buffered assembly.
 
 // simWorst simulates a priority-ordered set under the policy with both
 // a synchronous and a random-offset pattern and returns the per-task
@@ -89,7 +89,8 @@ func E1FixedPriorityPreemptive(cfg Config) []*stats.Table {
 		maxRatio                 float64
 	}
 	res := make([]trialResult, len(cells)*cfg.Trials)
-	forEachCellTrial(cfg, "E1", len(cells), func(ci, trial int, rng *rand.Rand) {
+	rs := cfg.rows(t, len(cells))
+	forEachCellTrialReduced(cfg, "E1", len(cells), func(ci, trial int, rng *rand.Rand) {
 		c := cells[ci]
 		r := &res[ci*cfg.Trials+trial]
 		ts := sched.SortDM(workload.TaskSet(rng, workload.DefaultTaskSetParams(c.n, c.u)))
@@ -111,9 +112,8 @@ func E1FixedPriorityPreemptive(cfg Config) []*stats.Table {
 				r.maxRatio = ratio
 			}
 		}
-	})
-	rows := make([][]any, len(cells))
-	for ci, c := range cells {
+	}, func(ci int) {
+		c := cells[ci]
 		var schedulable, violations, tight, tasks int
 		maxRatio := 0.0
 		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
@@ -127,13 +127,12 @@ func E1FixedPriorityPreemptive(cfg Config) []*stats.Table {
 				maxRatio = r.maxRatio
 			}
 		}
-		rows[ci] = []any{c.n, fmt.Sprintf("%.1f", c.u),
+		rs.Emit(ci, c.n, fmt.Sprintf("%.1f", c.u),
 			stats.Ratio{K: schedulable, N: cfg.Trials},
 			fmt.Sprintf("%.3f", maxRatio),
 			fmt.Sprintf("%d/%d", tight, tasks),
-			violations}
-	}
-	addRows(t, rows)
+			violations)
+	})
 	return []*stats.Table{t}
 }
 
@@ -155,7 +154,8 @@ func E2FixedPriorityNonPreemptive(cfg Config) []*stats.Table {
 		rels []float64
 	}
 	res := make([]trialResult, len(cells)*cfg.Trials)
-	forEachCellTrial(cfg, "E2", len(cells), func(ci, trial int, rng *rand.Rand) {
+	rs := cfg.rows(t, len(cells))
+	forEachCellTrialReduced(cfg, "E2", len(cells), func(ci, trial int, rng *rand.Rand) {
 		c := cells[ci]
 		r := &res[ci*cfg.Trials+trial]
 		p := workload.DefaultTaskSetParams(c.n, c.u)
@@ -180,9 +180,8 @@ func E2FixedPriorityNonPreemptive(cfg Config) []*stats.Table {
 				r.rels = append(r.rels, float64(rev[i])/float64(lit[i]))
 			}
 		}
-	})
-	rows := make([][]any, len(cells))
-	for ci, c := range cells {
+	}, func(ci int) {
+		c := cells[ci]
 		var litViol, revViol, cmpCount int
 		maxRatio, sumRel := 0.0, 0.0
 		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
@@ -200,10 +199,9 @@ func E2FixedPriorityNonPreemptive(cfg Config) []*stats.Table {
 		if cmpCount > 0 {
 			meanRel = sumRel / float64(cmpCount)
 		}
-		rows[ci] = []any{c.n, fmt.Sprintf("%.1f", c.u), litViol, revViol,
-			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel)}
-	}
-	addRows(t, rows)
+		rs.Emit(ci, c.n, fmt.Sprintf("%.1f", c.u), litViol, revViol,
+			fmt.Sprintf("%.3f", maxRatio), fmt.Sprintf("%.3f", meanRel))
+	})
 	return []*stats.Table{t}
 }
 
@@ -231,7 +229,8 @@ func E3EDFDemand(cfg Config) []*stats.Table {
 		points         int
 	}
 	res := make([]trialResult, len(cells)*cfg.Trials)
-	forEachCellTrial(cfg, "E3", len(cells), func(ci, trial int, rng *rand.Rand) {
+	rs := cfg.rows(t, len(cells))
+	forEachCellTrialReduced(cfg, "E3", len(cells), func(ci, trial int, rng *rand.Rand) {
 		c := cells[ci]
 		r := &res[ci*cfg.Trials+trial]
 		p := workload.DefaultTaskSetParams(5, c.u)
@@ -248,9 +247,8 @@ func E3EDFDemand(cfg Config) []*stats.Table {
 			panic(err)
 		}
 		r.miss = sim.AnyMiss()
-	})
-	rows := make([][]any, len(cells))
-	for ci, c := range cells {
+	}, func(ci int) {
+		c := cells[ci]
 		accepted, misses, points := 0, 0, 0
 		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
 			if !r.accepted {
@@ -266,10 +264,9 @@ func E3EDFDemand(cfg Config) []*stats.Table {
 		if accepted > 0 {
 			mean = float64(points) / float64(accepted)
 		}
-		rows[ci] = []any{fmt.Sprintf("%.1f", c.u), fmt.Sprintf("%.1f", c.dr),
-			stats.Ratio{K: accepted, N: cfg.Trials}, misses, fmt.Sprintf("%.1f", mean)}
-	}
-	addRows(t, rows)
+		rs.Emit(ci, fmt.Sprintf("%.1f", c.u), fmt.Sprintf("%.1f", c.dr),
+			stats.Ratio{K: accepted, N: cfg.Trials}, misses, fmt.Sprintf("%.1f", mean))
+	})
 	return []*stats.Table{t}
 }
 
@@ -295,7 +292,8 @@ func E4NonPreemptiveEDFTests(cfg Config) []*stats.Table {
 		zs, g, miss bool
 	}
 	res := make([]trialResult, len(cells)*cfg.Trials)
-	forEachCellTrial(cfg, "E4", len(cells), func(ci, trial int, rng *rand.Rand) {
+	rs := cfg.rows(t, len(cells))
+	forEachCellTrialReduced(cfg, "E4", len(cells), func(ci, trial int, rng *rand.Rand) {
 		c := cells[ci]
 		r := &res[ci*cfg.Trials+trial]
 		p := workload.DefaultTaskSetParams(5, c.u)
@@ -311,9 +309,8 @@ func E4NonPreemptiveEDFTests(cfg Config) []*stats.Table {
 			}
 			r.miss = sim.AnyMiss()
 		}
-	})
-	rows := make([][]any, len(cells))
-	for ci, c := range cells {
+	}, func(ci int) {
+		c := cells[ci]
 		zsAcc, gAcc, gOnly, simViol := 0, 0, 0, 0
 		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
 			if r.zs {
@@ -329,12 +326,11 @@ func E4NonPreemptiveEDFTests(cfg Config) []*stats.Table {
 				gOnly++
 			}
 		}
-		rows[ci] = []any{fmt.Sprintf("%.1f", c.dr), fmt.Sprintf("%.1f", c.u),
+		rs.Emit(ci, fmt.Sprintf("%.1f", c.dr), fmt.Sprintf("%.1f", c.u),
 			stats.Ratio{K: zsAcc, N: cfg.Trials},
 			stats.Ratio{K: gAcc, N: cfg.Trials},
-			gOnly, simViol}
-	}
-	addRows(t, rows)
+			gOnly, simViol)
+	})
 	return []*stats.Table{t}
 }
 
@@ -360,7 +356,8 @@ func E5EDFResponseTimes(cfg Config) []*stats.Table {
 		ratios []float64
 	}
 	res := make([]trialResult, len(cells)*cfg.Trials)
-	forEachCellTrial(cfg, "E5", len(cells), func(ci, trial int, rng *rand.Rand) {
+	rs := cfg.rows(t, len(cells))
+	forEachCellTrialReduced(cfg, "E5", len(cells), func(ci, trial int, rng *rand.Rand) {
 		c := cells[ci]
 		r := &res[ci*cfg.Trials+trial]
 		p := workload.DefaultTaskSetParams(4, c.u)
@@ -386,9 +383,8 @@ func E5EDFResponseTimes(cfg Config) []*stats.Table {
 			}
 			r.ratios = append(r.ratios, float64(worst[i])/float64(bounds[i]))
 		}
-	})
-	rows := make([][]any, len(cells))
-	for ci, c := range cells {
+	}, func(ci int) {
+		c := cells[ci]
 		violations, count := 0, 0
 		maxR, sumR := 0.0, 0.0
 		for _, r := range res[ci*cfg.Trials : (ci+1)*cfg.Trials] {
@@ -405,9 +401,8 @@ func E5EDFResponseTimes(cfg Config) []*stats.Table {
 		if count > 0 {
 			mean = sumR / float64(count)
 		}
-		rows[ci] = []any{c.mode, fmt.Sprintf("%.1f", c.u), violations,
-			fmt.Sprintf("%.3f", maxR), fmt.Sprintf("%.3f", mean)}
-	}
-	addRows(t, rows)
+		rs.Emit(ci, c.mode, fmt.Sprintf("%.1f", c.u), violations,
+			fmt.Sprintf("%.3f", maxR), fmt.Sprintf("%.3f", mean))
+	})
 	return []*stats.Table{t}
 }

@@ -9,7 +9,10 @@ import (
 // "caching disabled", in which case it is a plain delegation to core —
 // the higher layers (api.AnalyzeBatch, topology.Analyze,
 // holistic.Analyze, the experiment drivers) call these mirrors
-// unconditionally and let the cache pointer decide.
+// unconditionally and let the cache pointer decide. A cache whose
+// hit-rate auto-disable latch has tripped (Cache.SetAutoDisable) is
+// bypassed the same way — before any key is hashed — so an
+// all-distinct batch degrades to the uncached cost.
 //
 // The FCFS bound (Eq. 11) is intentionally never cached: it is the
 // closed form nh·T_cycle, cheaper than a hash.
@@ -50,7 +53,7 @@ func unpermute(canonical []Ticks, perm []int) []Ticks {
 // byte-identical to the uncached call for every input (see
 // streamSetKey for why deadline ties are safe).
 func DMResponseTimes(c *Cache, streams []core.Stream, tcycle Ticks, opts core.DMOptions) []Ticks {
-	if c == nil || len(streams) == 0 {
+	if c.Disabled() || len(streams) == 0 {
 		return core.DMResponseTimes(streams, tcycle, opts)
 	}
 	key, canon, perm := streamSetKey(KindDM, tcycle, dmOptsWords(opts), streams, true)
@@ -64,7 +67,7 @@ func DMResponseTimes(c *Cache, streams []core.Stream, tcycle Ticks, opts core.DM
 
 // EDFResponseTimes is core.EDFResponseTimes memoized on c.
 func EDFResponseTimes(c *Cache, streams []core.Stream, tcycle Ticks, opts core.EDFOptions) []Ticks {
-	if c == nil || len(streams) == 0 {
+	if c.Disabled() || len(streams) == 0 {
 		return core.EDFResponseTimes(streams, tcycle, opts)
 	}
 	key, canon, perm := streamSetKey(KindEDF, tcycle, edfOptsWords(opts), streams, false)

@@ -1,0 +1,112 @@
+package memo
+
+import (
+	"math/rand"
+	"testing"
+
+	"profirt/internal/core"
+)
+
+func autoStreams(rng *rand.Rand, n int) []core.Stream {
+	streams := make([]core.Stream, n)
+	for i := range streams {
+		T := core.Ticks(50_000 + rng.Intn(200_000))
+		streams[i] = core.Stream{
+			Ch: core.Ticks(200 + rng.Intn(400)),
+			D:  T - core.Ticks(rng.Intn(10_000)),
+			T:  T,
+			J:  core.Ticks(rng.Intn(2_000)),
+		}
+	}
+	return streams
+}
+
+// TestAutoDisableTripsOnAllDistinctBatch: a cache armed with the
+// hit-rate policy must latch off on a batch where every stream set is
+// distinct, and every result — before, at and after the trip — must be
+// byte-identical to the uncached analysis (the property the campaign
+// and batch layers rely on).
+func TestAutoDisableTripsOnAllDistinctBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := New(0)
+	c.SetAutoDisable(20, 0.1)
+	tripped := -1
+	for i := 0; i < 200; i++ {
+		streams := autoStreams(rng, 6)
+		tc := core.Ticks(2_000 + rng.Intn(2_000))
+		gotDM := DMResponseTimes(c, streams, tc, core.DMOptions{})
+		wantDM := core.DMResponseTimes(streams, tc, core.DMOptions{})
+		gotEDF := EDFResponseTimes(c, streams, tc, core.EDFOptions{})
+		wantEDF := core.EDFResponseTimes(streams, tc, core.EDFOptions{})
+		for k := range wantDM {
+			if gotDM[k] != wantDM[k] || gotEDF[k] != wantEDF[k] {
+				t.Fatalf("iteration %d: cached result diverged (disabled=%v)", i, c.Disabled())
+			}
+		}
+		if tripped < 0 && c.Disabled() {
+			tripped = i
+		}
+	}
+	if tripped < 0 {
+		t.Fatal("all-distinct batch never tripped the auto-disable latch")
+	}
+	st := c.Stats()
+	if !st.AutoDisabled {
+		t.Fatalf("Stats().AutoDisabled = false after trip (stats %+v)", st)
+	}
+	// Once latched, lookups stop: the counters freeze.
+	before := c.Stats()
+	DMResponseTimes(c, autoStreams(rng, 6), 2_500, core.DMOptions{})
+	if after := c.Stats(); after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("disabled cache still consulted: %+v -> %+v", before, after)
+	}
+}
+
+// TestAutoDisableSparesHotCaches: a workload with a healthy hit rate
+// must never trip the latch.
+func TestAutoDisableSparesHotCaches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New(0)
+	c.SetAutoDisable(20, 0.1)
+	streams := autoStreams(rng, 6)
+	for i := 0; i < 200; i++ {
+		DMResponseTimes(c, streams, 2_500, core.DMOptions{})
+	}
+	if c.Disabled() {
+		t.Fatal("hot cache tripped the auto-disable latch")
+	}
+	if st := c.Stats(); st.Hits == 0 {
+		t.Fatalf("repeated set never hit: %+v", st)
+	}
+}
+
+// TestAutoDisableDefaultsOff: an unarmed cache never self-disables,
+// and Reset re-arms a tripped one.
+func TestAutoDisableDefaultsOff(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := New(0)
+	for i := 0; i < 100; i++ {
+		DMResponseTimes(c, autoStreams(rng, 4), 2_500, core.DMOptions{})
+	}
+	if c.Disabled() {
+		t.Fatal("unarmed cache disabled itself")
+	}
+
+	c.SetAutoDisable(10, 0.5)
+	for i := 0; i < 50; i++ {
+		DMResponseTimes(c, autoStreams(rng, 4), 2_500, core.DMOptions{})
+	}
+	if !c.Disabled() {
+		t.Fatal("armed cache did not trip")
+	}
+	c.Reset()
+	if c.Disabled() {
+		t.Fatal("Reset did not re-arm the latch")
+	}
+
+	var nilCache *Cache
+	if !nilCache.Disabled() {
+		t.Fatal("nil cache should report disabled")
+	}
+	nilCache.SetAutoDisable(1, 1) // must not panic
+}

@@ -57,7 +57,14 @@ type Cache struct {
 	hits        atomic.Int64
 	misses      atomic.Int64
 	evictions   atomic.Int64
-	shards      [shardCount]shard
+	// Hit-rate-aware auto-disable (SetAutoDisable): once lookups reach
+	// autoMinLookups with hits/lookups below autoMinHitRate, disabled
+	// latches and the analysis wrappers stop hashing keys entirely —
+	// an all-distinct batch then pays zero cache overhead.
+	autoMinLookups int64
+	autoMinHitRate float64
+	disabled       atomic.Bool
+	shards         [shardCount]shard
 }
 
 // New builds a cache holding at most maxEntries results; maxEntries
@@ -81,6 +88,47 @@ func (c *Cache) shardFor(k Key) *shard {
 	return &c.shards[binary.LittleEndian.Uint64(k[:8])&(shardCount-1)]
 }
 
+// SetAutoDisable arms hit-rate-aware auto-disable: once the cache has
+// served at least minLookups Gets with a hit rate strictly below
+// minHitRate, it latches into a disabled state and the analysis
+// wrappers bypass it entirely — no key hashing, no map probes. This
+// turns the cache into a no-cost pass-through on all-distinct batches
+// (where every lookup is a guaranteed miss) while leaving repeated
+// batches untouched. Results are byte-identical either way: disabling
+// only ever trades a hit for a recomputation.
+//
+// minLookups <= 0 or minHitRate <= 0 disarms the policy (the default:
+// a cache built by New never self-disables). Reset re-arms a tripped
+// cache. Not safe to call concurrently with Get; configure before
+// sharing the cache.
+func (c *Cache) SetAutoDisable(minLookups int64, minHitRate float64) {
+	if c == nil {
+		return
+	}
+	c.autoMinLookups = minLookups
+	c.autoMinHitRate = minHitRate
+	c.disabled.Store(false)
+}
+
+// Disabled reports whether hit-rate-aware auto-disable has tripped.
+// The analysis wrappers consult it before hashing; callers may too.
+// Safe on a nil receiver (a nil cache is "disabled" by definition).
+func (c *Cache) Disabled() bool {
+	return c == nil || c.disabled.Load()
+}
+
+// noteLookup updates the auto-disable latch after a Get.
+func (c *Cache) noteLookup() {
+	if c.autoMinLookups <= 0 || c.autoMinHitRate <= 0 || c.disabled.Load() {
+		return
+	}
+	hits := c.hits.Load()
+	total := hits + c.misses.Load()
+	if total >= c.autoMinLookups && float64(hits) < c.autoMinHitRate*float64(total) {
+		c.disabled.Store(true)
+	}
+}
+
 // Get returns the value stored under k. Values must be treated as
 // immutable by every reader (the analysis wrappers copy before
 // returning). Safe on a nil receiver (always a miss).
@@ -97,6 +145,7 @@ func (c *Cache) Get(k Key) (any, bool) {
 	} else {
 		c.misses.Add(1)
 	}
+	c.noteLookup()
 	return v, ok
 }
 
@@ -150,6 +199,7 @@ func (c *Cache) Reset() {
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
+	c.disabled.Store(false)
 }
 
 // Stats is a point-in-time counter snapshot.
@@ -160,6 +210,10 @@ type Stats struct {
 	Evictions int64
 	// Entries is the resident entry count.
 	Entries int
+	// AutoDisabled reports whether the hit-rate policy (SetAutoDisable)
+	// has latched the cache off. Hits/Misses stop advancing then: the
+	// wrappers no longer consult the cache at all.
+	AutoDisabled bool
 }
 
 // Stats snapshots the counters. Safe on a nil receiver (all zero).
@@ -168,9 +222,10 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   c.Len(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Evictions:    c.evictions.Load(),
+		Entries:      c.Len(),
+		AutoDisabled: c.disabled.Load(),
 	}
 }

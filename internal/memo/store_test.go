@@ -1,0 +1,271 @@
+package memo
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func storeKey(i int) Key {
+	return Key(sha256.Sum256([]byte(fmt.Sprintf("key-%d", i))))
+}
+
+func TestStoreRoundTripAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	meta := []byte("manifest-hash")
+	s, err := OpenStore(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(storeKey(i), []byte(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate put is a no-op, not a second record.
+	if err := s.Put(storeKey(3), []byte(`{"v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Appends != 10 || st.Entries != 10 {
+		t.Fatalf("stats after puts = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 10 {
+		t.Fatalf("reopened store holds %d records, want 10", s2.Len())
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := s2.Get(storeKey(i))
+		if !ok || string(v) != fmt.Sprintf(`{"v":%d}`, i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	if _, ok := s2.Get(storeKey(99)); ok {
+		t.Fatal("Get returned a value for an absent key")
+	}
+	if st := s2.Stats(); st.Hits != 10 || st.Misses != 1 || st.Dropped != 0 {
+		t.Fatalf("reopened stats = %+v", st)
+	}
+}
+
+func TestStoreMetaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := OpenStore(path, []byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := OpenStore(path, []byte("beta")); err == nil {
+		t.Fatal("OpenStore accepted mismatched meta")
+	}
+	if s, err = OpenStore(path, []byte("alpha")); err != nil {
+		t.Fatalf("OpenStore rejected matching meta: %v", err)
+	}
+	s.Close()
+}
+
+func TestStoreNotAStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	if err := os.WriteFile(path, []byte("not json at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path, nil); err == nil {
+		t.Fatal("OpenStore accepted a non-store file")
+	}
+}
+
+// TestStoreDropsCorruptLines covers the kill-mid-write contract: torn
+// or tampered records are dropped at open (counted, never fatal) and
+// every intact record survives.
+func TestStoreDropsCorruptLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := OpenStore(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(storeKey(i), []byte(`"payload"`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record, as a kill mid-write would.
+	torn := raw[:len(raw)-9]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 4 {
+		t.Fatalf("store holds %d records after tear, want 4", s2.Len())
+	}
+	if st := s2.Stats(); st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", st.Dropped)
+	}
+	// A re-put of the torn record must append cleanly (the torn line is
+	// newline-terminated at open so the new record starts fresh; the
+	// dead line itself stays and is re-dropped on every open).
+	if err := s2.Put(storeKey(4), []byte(`"payload"`)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := OpenStore(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 5 || s3.Stats().Dropped != 1 {
+		t.Fatalf("healed store: len %d, stats %+v", s3.Len(), s3.Stats())
+	}
+}
+
+func TestStoreIntegrityHashRejectsTampering(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := OpenStore(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(storeKey(0), []byte(`12345`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := []byte(string(raw))
+	for i := range tampered {
+		if string(tampered[i:i+5]) == "12345" {
+			tampered[i] = '9'
+			break
+		}
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(storeKey(0)); ok {
+		t.Fatal("tampered record survived the integrity hash")
+	}
+	if s2.Stats().Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", s2.Stats().Dropped)
+	}
+}
+
+// TestStoreTornMetaSelfHeals: a kill can tear the meta line itself
+// (the final write of a brand-new store). The torn head is a strict
+// prefix of the head OpenStore would write, so it is recognised, the
+// file reset and the meta rewritten — while a genuinely foreign file
+// is still rejected.
+func TestStoreTornMetaSelfHeals(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	meta := []byte("manifest-hash")
+	s, err := OpenStore(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(path, meta)
+	if err != nil {
+		t.Fatalf("torn meta line bricked the store: %v", err)
+	}
+	if st := s2.Stats(); st.Dropped != 1 || st.Entries != 0 {
+		t.Fatalf("healed store stats = %+v", st)
+	}
+	if err := s2.Put(storeKey(1), []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := OpenStore(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 1 || s3.Stats().Dropped != 0 {
+		t.Fatalf("store after heal+reopen: len %d, stats %+v", s3.Len(), s3.Stats())
+	}
+	// A head torn inside the meta hex of a *different* manifest is no
+	// prefix of ours and must not be adopted. (A tear inside the common
+	// JSON prefix is adoptable under any meta — such a store is
+	// provably empty.)
+	if err := os.WriteFile(path, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path, []byte("other-manifest")); err == nil {
+		t.Fatal("store with a foreign torn head was adopted")
+	}
+}
+
+func TestStoreConcurrentPutGet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	s, err := OpenStore(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := storeKey(i % 20)
+				if err := s.Put(k, []byte(fmt.Sprintf(`%d`, i%20))); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := s.Get(k); !ok || string(v) != fmt.Sprintf(`%d`, i%20) {
+					t.Errorf("Get = %q, %v", v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", s.Len())
+	}
+	s.Close()
+}
+
+func TestNilStoreIsDisabled(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get(storeKey(0)); ok {
+		t.Fatal("nil store returned a value")
+	}
+	if err := s.Put(storeKey(0), []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Stats() != (StoreStats{}) {
+		t.Fatal("nil store has state")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunContextNilIsRun(t *testing.T) {
+	var ran atomic.Int64
+	RunContext(nil, 4, 100, func(i int) { ran.Add(1) })
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100 jobs", ran.Load())
+	}
+}
+
+func TestRunContextCancelledUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		RunContext(ctx, workers, 100, func(i int) { ran.Add(1) })
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: cancelled pool ran %d jobs", workers, ran.Load())
+		}
+	}
+}
+
+func TestRunContextCancelMidway(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		RunContext(ctx, workers, 1_000, func(i int) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+		})
+		cancel()
+		got := ran.Load()
+		if got < 10 || got == 1_000 {
+			t.Fatalf("workers=%d: ran %d jobs; want >=10 and <1000", workers, got)
+		}
+	}
+}

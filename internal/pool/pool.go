@@ -6,6 +6,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,9 +25,21 @@ import (
 // trades away the worker's stack trace; the failing cell is best
 // located by re-running with Parallelism: 1.)
 func Run(workers, n int, fn func(i int)) {
+	RunContext(nil, workers, n, fn)
+}
+
+// RunContext is Run with cooperative cancellation: once ctx is done,
+// workers stop pulling new indices and RunContext returns after the
+// in-flight jobs finish. Jobs never dispatched are simply not called —
+// callers that must distinguish "ran" from "skipped" should record
+// completion in their per-index state (the batch layers pre-mark every
+// slot Skipped and clear the mark inside fn). A nil ctx means no
+// cancellation, which is exactly Run.
+func RunContext(ctx context.Context, workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	cancelled := func() bool { return ctx != nil && ctx.Err() != nil }
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -35,6 +48,9 @@ func Run(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -50,7 +66,7 @@ func Run(workers, n int, fn func(i int)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || stopped.Load() {
+				if i >= n || stopped.Load() || cancelled() {
 					return
 				}
 				func() {

@@ -33,9 +33,10 @@ func NewTable(title string, header ...string) *Table {
 	return &Table{Title: title, Header: header}
 }
 
-// AddRow appends a row. Values are rendered with %v; floats with %g
-// would lose alignment, so use Cell helpers or pre-format when needed.
-func (t *Table) AddRow(cells ...any) {
+// formatRow renders cell values to the strings a row stores: strings
+// pass through, floats get the fixed %.3f (so columns align), anything
+// else renders with %v.
+func formatRow(cells []any) []string {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -49,6 +50,13 @@ func (t *Table) AddRow(cells ...any) {
 			row[i] = fmt.Sprintf("%v", v)
 		}
 	}
+	return row
+}
+
+// AddRow appends a row. Values are rendered with %v; floats with %g
+// would lose alignment, so use Cell helpers or pre-format when needed.
+func (t *Table) AddRow(cells ...any) {
+	row := formatRow(cells)
 	t.mu.Lock()
 	t.rows = append(t.rows, row)
 	t.mu.Unlock()
@@ -194,4 +202,20 @@ func (t *Table) String() string {
 	var sb strings.Builder
 	_ = t.WritePlain(&sb)
 	return sb.String()
+}
+
+// Render dispatches to the writer named by format: "plain", "md" or
+// "csv" (the shared -format vocabulary of cmd/experiments and
+// cmd/campaign).
+func Render(w io.Writer, t *Table, format string) error {
+	switch format {
+	case "plain":
+		return t.WritePlain(w)
+	case "md":
+		return t.WriteMarkdown(w)
+	case "csv":
+		return t.WriteCSV(w)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
 }
