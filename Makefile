@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke fuzz-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke fuzz-smoke apicheck apicheck-update
 
-ci: fmt vet build race fuzz-smoke
+ci: fmt vet build race fuzz-smoke apicheck
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -34,7 +34,7 @@ race:
 # .raw; compare runs with
 # `jq -r .raw BENCH_results.json | benchstat old.txt /dev/stdin`).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkAllExperiments|BenchmarkAnalyzeBatch|BenchmarkAnalyzeCached|BenchmarkSimulateBatch|BenchmarkCampaign' -benchmem . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) test -run '^$$' -bench 'BenchmarkAllExperiments|BenchmarkAnalyzeBatch|BenchmarkAnalyzeCached|BenchmarkSimulateBatch|BenchmarkCampaign|BenchmarkEngineConcurrentCallers' -benchmem . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	cat bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_results.json < bench.out
 	@rm -f bench.out
@@ -43,6 +43,19 @@ bench:
 # benchmark code without paying for statistically meaningful timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Exported-API golden check: cmd/apicheck dumps the root package's
+# exported surface (sorted, comment-free declarations) and diffs it
+# against testdata/api.golden, so every surface change lands as a
+# reviewable diff and CI fails on unreviewed ones. After reviewing an
+# intentional change, regenerate with `make apicheck-update`.
+apicheck:
+	@$(GO) run ./cmd/apicheck | diff -u testdata/api.golden - \
+		|| { echo "exported API surface changed; review the diff and run 'make apicheck-update'"; exit 1; }
+
+apicheck-update:
+	@mkdir -p testdata
+	$(GO) run ./cmd/apicheck > testdata/api.golden
 
 # Short fuzzing smoke pass: the checked-in seed corpus already runs in
 # `make race`; this additionally lets each fuzzer mutate for a few

@@ -10,7 +10,6 @@ import (
 	"profirt/internal/fdl"
 	"profirt/internal/holistic"
 	"profirt/internal/memo"
-	"profirt/internal/pool"
 	"profirt/internal/profibus"
 	"profirt/internal/sched"
 	"profirt/internal/stats"
@@ -167,12 +166,19 @@ type (
 	SimBatchResult = profibus.BatchResult
 )
 
-var (
-	// SimulateBatch runs many network simulations concurrently.
-	SimulateBatch = profibus.SimulateBatch
-	// SimBatchSeed derives run index's seed from the batch base seed.
-	SimBatchSeed = profibus.BatchSeed
-)
+// SimulateBatch runs many network simulations concurrently on the
+// package-default Engine's shared pool (opts.Pool, when set by an
+// in-module caller, selects another pool). New code should construct
+// an Engine and call Engine.SimulateBatch.
+func SimulateBatch(cfgs []SimConfig, opts SimBatchOptions) []SimBatchResult {
+	if opts.Pool == nil {
+		opts.Pool = Default().pool
+	}
+	return profibus.SimulateBatch(cfgs, opts)
+}
+
+// SimBatchSeed derives run index's seed from the batch base seed.
+var SimBatchSeed = profibus.BatchSeed
 
 // Single-processor simulation substrate (validating Section 2).
 type (
@@ -355,10 +361,17 @@ var (
 	SimulateTopology = topology.Simulate
 )
 
-// BatchOptions tunes AnalyzeBatch.
+// BatchOptions tunes the legacy AnalyzeBatch and AnalyzeTopologyBatch
+// free functions. New code should construct an Engine: its
+// AnalyzeNetworks/AnalyzeTopologies methods split these knobs into
+// AnalyzeOptions and TopologyAnalyzeOptions, so every field applies to
+// the call it is passed to.
 type BatchOptions struct {
-	// Parallelism bounds the worker pool. 0 means
-	// runtime.GOMAXPROCS(0); 1 forces sequential evaluation.
+	// Parallelism bounds the batch's concurrently evaluated networks.
+	// 0 means the full pool (runtime.GOMAXPROCS(0) workers); 1 forces
+	// sequential evaluation on the calling goroutine. The batch runs on
+	// the package-default Engine's shared pool, so values above the
+	// pool width are clamped to it.
 	Parallelism int
 	// Context cancels the batch early; nil means context.Background().
 	// Networks not yet evaluated when the context is done are returned
@@ -368,9 +381,13 @@ type BatchOptions struct {
 	DM DMMessageOptions
 	// EDF tunes the Eqs. 17–18 analysis applied to every network.
 	EDF EDFMessageOptions
-	// MaxIterations caps the cross-segment jitter fixed point used by
-	// AnalyzeTopologyBatch (0 means the topology default of 64);
-	// AnalyzeBatch ignores it.
+	// MaxIterations caps the cross-segment jitter fixed point solved
+	// per topology, and therefore applies to AnalyzeTopologyBatch ONLY
+	// (0 means the topology default of 64). AnalyzeBatch has no such
+	// fixed point and ignores the field entirely — setting it there has
+	// no effect. Engine.AnalyzeNetworks omits the knob and
+	// Engine.AnalyzeTopologies validates it, making the contract
+	// explicit.
 	MaxIterations int
 	// Cache memoizes the DM/EDF response-time fixed points across the
 	// batch on a shared content-addressed table (nil disables).
@@ -404,31 +421,16 @@ type BatchResult struct {
 }
 
 // AnalyzeBatch evaluates the FCFS, DM and EDF schedulability analyses
-// for many network configurations concurrently on a bounded worker
-// pool. Results are returned in input order: out[i] describes nets[i].
-// The analyses are pure functions of each Network, so the batch is
-// deterministic regardless of Parallelism. Cancel via opts.Context to
-// stop early; remaining networks come back with Skipped set.
+// for many network configurations concurrently — a thin delegate to
+// the package-default Engine's shared worker pool (new code should
+// construct an Engine and call Engine.AnalyzeNetworks). Results are
+// returned in input order: out[i] describes nets[i]. The analyses are
+// pure functions of each Network, so the batch is deterministic
+// regardless of Parallelism. Cancel via opts.Context to stop early;
+// remaining networks come back with Skipped set. opts.MaxIterations is
+// a topology-only knob and has no effect here (see BatchOptions).
 func AnalyzeBatch(nets []Network, opts BatchOptions) []BatchResult {
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	out := make([]BatchResult, len(nets))
-	analyze := func(i int) {
-		r := BatchResult{Index: i}
-		if ctx.Err() != nil {
-			r.Skipped = true
-			out[i] = r
-			return
-		}
-		r.FCFS.Schedulable, r.FCFS.Verdicts = core.FCFSSchedulable(nets[i])
-		r.DM.Schedulable, r.DM.Verdicts = memo.DMSchedulable(opts.Cache, nets[i], opts.DM)
-		r.EDF.Schedulable, r.EDF.Verdicts = memo.EDFSchedulableNet(opts.Cache, nets[i], opts.EDF)
-		out[i] = r
-	}
-	pool.Run(opts.Parallelism, len(nets), analyze)
-	return out
+	return Default().analyzeNetworks(opts.Context, nets, opts.DM, opts.EDF, opts.Cache, opts.Parallelism)
 }
 
 // TopologyBatchResult is AnalyzeTopologyBatch's outcome for one
@@ -446,29 +448,15 @@ type TopologyBatchResult struct {
 
 // AnalyzeTopologyBatch extends AnalyzeBatch to segment-topology sweeps:
 // it evaluates AnalyzeTopology for many bridged multi-segment
-// configurations concurrently on the same bounded worker pool, with the
-// same ordering, determinism and cancellation contract. The DM/EDF
-// option fields tune the per-segment analyses; MaxIterations caps each
-// topology's cross-segment fixed point.
+// configurations concurrently on the package-default Engine's shared
+// pool, with the same ordering, determinism and cancellation contract
+// (new code should construct an Engine and call
+// Engine.AnalyzeTopologies). The DM/EDF option fields tune the
+// per-segment analyses; MaxIterations caps each topology's
+// cross-segment fixed point.
 func AnalyzeTopologyBatch(tops []Topology, opts BatchOptions) []TopologyBatchResult {
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	topts := topology.Options{DM: opts.DM, EDF: opts.EDF, MaxIterations: opts.MaxIterations, Cache: opts.Cache}
-	out := make([]TopologyBatchResult, len(tops))
-	analyze := func(i int) {
-		r := TopologyBatchResult{Index: i}
-		if ctx.Err() != nil {
-			r.Skipped = true
-			out[i] = r
-			return
-		}
-		r.Result, r.Err = topology.Analyze(tops[i], topts)
-		out[i] = r
-	}
-	pool.Run(opts.Parallelism, len(tops), analyze)
-	return out
+	return Default().analyzeTopologies(opts.Context, tops, topts, opts.Parallelism)
 }
 
 // NetworkFromSimConfig derives the analytic model (Network) from a

@@ -9,12 +9,16 @@ package profirt_test
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"profirt"
 	"profirt/internal/ap"
@@ -254,6 +258,86 @@ func BenchmarkCampaignWarmResume(b *testing.B) {
 			b.Fatalf("warm run restored %d of %d", res.Restored, res.Jobs)
 		}
 	}
+}
+
+// --- Engine concurrent-caller benchmarks ---
+
+// benchEngineConcurrentCallers measures M concurrent batch submitters
+// hammering the simulation layer. The Shared variant routes all of
+// them through ONE Engine — one bounded pool, round-robin admission —
+// so the process runs at most the pool width in workers no matter how
+// many callers pile on. The Legacy variant reproduces the pre-Engine
+// behaviour: every call spins its own full-width pool, so M callers
+// oversubscribe the machine M-fold. The pool width is pinned (not
+// GOMAXPROCS) so the contrast is visible on any host, including
+// single-core CI runners; the peak-goroutines metric records it in
+// BENCH_results.json: ~width + M submitters for Shared versus
+// ~M×width for Legacy. The results are byte-identical either way.
+func benchEngineConcurrentCallers(b *testing.B, shared bool) {
+	const width = 4
+	cfgs := benchSimConfigs(24)
+	const callers = 6
+	var eng *profirt.Engine
+	if shared {
+		eng = profirt.NewEngine(profirt.WithParallelism(width))
+		defer eng.Close()
+	}
+	var peak atomic.Int64
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if g := int64(runtime.NumGoroutine()); g > peak.Load() {
+				peak.Store(g)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var out []profirt.SimBatchResult
+				if shared {
+					out = eng.SimulateBatch(context.Background(), cfgs, profirt.SimulateOptions{Seed: 5})
+				} else {
+					// The internal batch runner with no shared pool: a
+					// per-call width-sized worker set, exactly the
+					// pre-Engine SimulateBatch.
+					out = profibus.SimulateBatch(cfgs, profibus.BatchOptions{Seed: 5, Parallelism: width})
+				}
+				for _, r := range out {
+					if r.Err != nil || r.Skipped {
+						b.Errorf("run %d: err=%v skip=%v", r.Index, r.Err, r.Skipped)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	close(stop)
+	sampler.Wait()
+	b.ReportMetric(float64(peak.Load()), "peak-goroutines")
+}
+
+func BenchmarkEngineConcurrentCallersShared(b *testing.B) {
+	benchEngineConcurrentCallers(b, true)
+}
+
+func BenchmarkEngineConcurrentCallersLegacy(b *testing.B) {
+	benchEngineConcurrentCallers(b, false)
 }
 
 // --- substrate micro-benchmarks ---

@@ -6,15 +6,22 @@
 //
 // Usage:
 //
-//	campaign run    -manifest sweep.json -dir out [-parallel N] [-format md] [-stop-after N]
-//	campaign resume -dir out [-parallel N] [-format md]
-//	campaign status -dir out
+//	campaign run     -manifest sweep.json -dir out [-parallel N] [-format md] [-stop-after N]
+//	campaign resume  -dir out [-parallel N] [-format md]
+//	campaign status  -dir out
+//	campaign compact -dir out
 //
 // run compiles the manifest, snapshots it into dir/manifest.json and
 // executes against the store dir/results.jsonl (creating both; an
 // existing directory must hold the same manifest). resume re-executes
 // from the snapshot — identical to re-running run, without needing the
 // original manifest path. status reports store coverage and exits.
+// compact rewrites the store dropping the dead weight an append-only
+// file accumulates (torn lines from kills mid-write); a compacted
+// store resumes byte-identically. Run it only while no other campaign
+// process has the directory open — a concurrent writer's results
+// appended after the rewrite would be lost (and merely re-executed on
+// the next resume).
 //
 // Completed rows stream to stderr the moment they settle (in grid
 // order); the final table goes to stdout. An interrupted run (SIGINT,
@@ -36,9 +43,7 @@ import (
 	"runtime"
 	"strings"
 
-	"profirt/internal/campaign"
-	"profirt/internal/memo"
-	"profirt/internal/stats"
+	"profirt"
 )
 
 func main() {
@@ -75,7 +80,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var c *campaign.Campaign
+	var c *profirt.Campaign
 	var err error
 	switch cmd {
 	case "run":
@@ -83,7 +88,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "campaign run: -manifest is required")
 			return 2
 		}
-		if c, err = campaign.Load(*manifest); err != nil {
+		if c, err = profirt.LoadCampaign(*manifest); err != nil {
 			fmt.Fprintf(stderr, "campaign: %v\n", err)
 			return 1
 		}
@@ -91,8 +96,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "campaign: %v\n", err)
 			return 1
 		}
-	case "resume", "status":
-		if c, err = campaign.Load(filepath.Join(*dir, "manifest.json")); err != nil {
+	case "resume", "status", "compact":
+		if c, err = profirt.LoadCampaign(filepath.Join(*dir, "manifest.json")); err != nil {
 			fmt.Fprintf(stderr, "campaign: %v (did a run create this directory?)\n", err)
 			return 1
 		}
@@ -101,30 +106,45 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	store, err := memo.OpenStore(filepath.Join(*dir, "results.jsonl"), c.Hash[:])
+	store, err := profirt.OpenResultStore(filepath.Join(*dir, "results.jsonl"), c.Hash[:])
 	if err != nil {
 		fmt.Fprintf(stderr, "campaign: %v\n", err)
 		return 1
 	}
 	defer store.Close()
 
-	if cmd == "status" {
+	switch cmd {
+	case "status":
 		rep := c.Status(store)
 		fmt.Fprintf(stdout, "campaign %s: %d/%d jobs done, %d/%d rows complete\n",
 			c.Manifest.Name, rep.Done, rep.Jobs, rep.RowsDone, rep.Rows)
 		return 0
+	case "compact":
+		before := fileSize(filepath.Join(*dir, "results.jsonl"))
+		dropped := store.Stats().Dropped
+		if err := store.Compact(); err != nil {
+			fmt.Fprintf(stderr, "campaign: compact: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "campaign %s: compacted store: %d records kept, %d dead lines dropped, %d -> %d bytes\n",
+			c.Manifest.Name, store.Len(), dropped, before, fileSize(filepath.Join(*dir, "results.jsonl")))
+		return 0
 	}
 
-	res, err := c.Run(campaign.RunOptions{
-		Parallelism: *parallel,
-		Context:     ctx,
-		Store:       store,
-		Cache:       memo.New(0),
-		StopAfter:   *stopAfter,
-		RowSink: func(e stats.RowEvent) {
+	// One Engine owns the worker pool, the durable store and the
+	// per-row analysis cache for the whole run; every campaign job is
+	// admitted onto that single bounded pool.
+	eng := profirt.NewEngine(
+		profirt.WithParallelism(*parallel),
+		profirt.WithStore(store),
+		profirt.WithCache(profirt.NewAnalysisCache(0)),
+		profirt.WithRowSink(func(e profirt.TableRowEvent) {
 			fmt.Fprintf(stderr, "row %d/%d: %s\n", e.Index+1, e.Total, strings.Join(e.Cells, "  "))
-		},
-	})
+		}),
+	)
+	defer eng.Close()
+
+	res, err := eng.RunCampaign(ctx, c, profirt.CampaignOptions{StopAfter: *stopAfter})
 	if err != nil {
 		fmt.Fprintf(stderr, "campaign: %v\n", err)
 		return 1
@@ -136,23 +156,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			res.Skipped, *dir)
 		return 3
 	}
-	if err := stats.Render(stdout, res.Table, *format); err != nil {
+	if err := profirt.RenderTable(stdout, res.Table, *format); err != nil {
 		fmt.Fprintf(stderr, "campaign: %v\n", err)
 		return 1
 	}
 	return 0
 }
 
+// fileSize returns the store size for the compact summary (0 when
+// unreadable — the summary is informational).
+func fileSize(path string) int64 {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return info.Size()
+}
+
 // snapshotManifest persists the resolved manifest into dir so resume
 // and status need no external file; an existing snapshot must compile
 // to the same grid (hash equality) or the run is refused.
-func snapshotManifest(c *campaign.Campaign, dir string) error {
+func snapshotManifest(c *profirt.Campaign, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	path := filepath.Join(dir, "manifest.json")
 	if raw, err := os.ReadFile(path); err == nil {
-		prev, err := campaign.Parse(raw)
+		prev, err := profirt.ParseCampaign(raw)
 		if err != nil {
 			return fmt.Errorf("existing %s is not a valid manifest: %w", path, err)
 		}
@@ -169,5 +199,5 @@ func snapshotManifest(c *campaign.Campaign, dir string) error {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: campaign {run|resume|status} [flags] (see -h per subcommand)")
+	fmt.Fprintln(w, "usage: campaign {run|resume|status|compact} [flags] (see -h per subcommand)")
 }

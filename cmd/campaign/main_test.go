@@ -92,6 +92,49 @@ func TestRunKillResume(t *testing.T) {
 	}
 }
 
+// TestCompactThenResume: a store damaged by a mid-write kill and then
+// compacted must resume to a table byte-identical to an uninterrupted
+// run — compaction reclaims bytes, never state.
+func TestCompactThenResume(t *testing.T) {
+	manifest := writeManifest(t)
+	fullDir := filepath.Join(t.TempDir(), "full")
+	code, full, _ := runCLI(t, "run", "-manifest", manifest, "-dir", fullDir)
+	if code != 0 {
+		t.Fatalf("uninterrupted run exited %d", code)
+	}
+
+	killDir := filepath.Join(t.TempDir(), "killed")
+	if code, _, _ = runCLI(t, "run", "-manifest", manifest, "-dir", killDir, "-stop-after", "3"); code != 3 {
+		t.Fatalf("interrupted run exited %d", code)
+	}
+	// A kill mid-write tears the final line; fake one.
+	storePath := filepath.Join(killDir, "results.jsonl")
+	f, err := os.OpenFile(storePath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"k":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	code, out, errOut := runCLI(t, "compact", "-dir", killDir)
+	if code != 0 {
+		t.Fatalf("compact exited %d (stderr: %s)", code, errOut)
+	}
+	if !strings.Contains(out, "1 dead lines dropped") {
+		t.Fatalf("compact summary missing dropped count: %s", out)
+	}
+
+	code, resumed, _ := runCLI(t, "resume", "-dir", killDir)
+	if code != 0 {
+		t.Fatalf("resume exited %d", code)
+	}
+	if resumed != full {
+		t.Fatalf("post-compact resume differs from uninterrupted:\n--- resumed ---\n%s--- full ---\n%s", resumed, full)
+	}
+}
+
 func TestRowStreamingOnStderr(t *testing.T) {
 	manifest := writeManifest(t)
 	dir := filepath.Join(t.TempDir(), "c")

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,9 +18,7 @@ import (
 	"strings"
 	"sync"
 
-	"profirt/internal/experiments"
-	"profirt/internal/memo"
-	"profirt/internal/stats"
+	"profirt"
 )
 
 func main() {
@@ -34,9 +33,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	id := fs.String("id", "", "run a single experiment (e.g. E7); default all")
 	quick := fs.Bool("quick", false, "reduced grids and trial counts")
 	trials := fs.Int("trials", 0, "override trials per grid cell")
-	seed := fs.Int64("seed", 1, "random seed (tables are reproducible per seed)")
+	seed := fs.Int64("seed", 1, "random seed (tables are reproducible per seed; 0 selects the default seed 1)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
-		"grid-cell worker pool size (1 = sequential; tables are identical either way)")
+		"worker pool size (1 = sequential; tables are identical either way)")
 	cache := fs.Bool("cache", true,
 		"memoize repeated DM/EDF/holistic fixed points (tables are identical either way)")
 	format := fs.String("format", "md", "output format: plain, md or csv")
@@ -49,23 +48,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
-		for _, e := range experiments.All() {
+		for _, e := range profirt.Experiments() {
 			fmt.Fprintf(stdout, "%-4s %-28s %s\n", e.ID, e.Anchor, e.Title)
 		}
 		return 0
 	}
 
-	cfg := experiments.DefaultConfig()
-	if *quick {
-		cfg = experiments.QuickConfig()
-	}
-	cfg.Seed = *seed
-	if *trials > 0 {
-		cfg.Trials = *trials
-	}
-	cfg.Parallelism = *parallel
+	// One Engine owns the worker pool and the analysis cache for the
+	// whole run; every experiment's grid cells are admitted onto that
+	// single bounded pool.
+	engOpts := []profirt.EngineOption{profirt.WithParallelism(*parallel)}
 	if *cache {
-		cfg.Cache = memo.New(0)
+		engOpts = append(engOpts, profirt.WithCache(profirt.NewAnalysisCache(0)))
 	}
 	if !*quick {
 		// Full-size runs take minutes per experiment; stream per-job
@@ -74,30 +68,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// deterministic grid order) are still being built. Quick runs
 		// stay silent — the golden test pins their stdout AND stderr
 		// byte-for-byte.
-		cfg.Progress = progressSink(stderr)
-		cfg.RowSink = rowSink(stderr)
+		engOpts = append(engOpts,
+			profirt.WithProgress(progressSink(stderr)),
+			profirt.WithRowSink(rowSink(stderr)))
+	}
+	eng := profirt.NewEngine(engOpts...)
+	defer eng.Close()
+
+	opts := profirt.ExperimentOptions{Seed: *seed, Trials: *trials, Quick: *quick}
+	var ids []string
+	if *id != "" {
+		ids = []string{*id}
+	} else {
+		for _, e := range profirt.Experiments() {
+			ids = append(ids, e.ID)
+		}
 	}
 
-	var toRun []experiments.Experiment
-	if *id != "" {
-		e, ok := experiments.ByID(*id)
-		if !ok {
-			fmt.Fprintf(stderr, "experiments: unknown id %q (use -list)\n", *id)
+	// One RunExperiments call per experiment, so each experiment's
+	// tables hit stdout the moment it finishes rather than after the
+	// whole suite.
+	for _, eid := range ids {
+		res, err := eng.RunExperiments(context.Background(), []string{eid}, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "experiments: %v (use -list)\n", err)
 			return 2
 		}
-		toRun = []experiments.Experiment{e}
-	} else {
-		toRun = experiments.All()
-	}
-
-	for _, e := range toRun {
-		fmt.Fprintf(stdout, "## %s — %s (%s)\n\n", e.ID, e.Title, e.Anchor)
-		for _, t := range e.Run(cfg) {
-			if err := stats.Render(stdout, t, *format); err != nil {
-				fmt.Fprintf(stderr, "experiments: %v\n", err)
-				return 1
+		for _, er := range res {
+			fmt.Fprintf(stdout, "## %s — %s (%s)\n\n", er.ID, er.Title, er.Anchor)
+			for _, t := range er.Tables {
+				if err := profirt.RenderTable(stdout, t, *format); err != nil {
+					fmt.Fprintf(stderr, "experiments: %v\n", err)
+					return 1
+				}
+				fmt.Fprintln(stdout)
 			}
-			fmt.Fprintln(stdout)
 		}
 	}
 	return 0
@@ -110,14 +115,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 // counter and reporting, so events may arrive out of order), and
 // prints roughly every 10% plus the final event of each experiment
 // grid.
-func progressSink(w io.Writer) func(experiments.ProgressEvent) {
+func progressSink(w io.Writer) func(profirt.EngineEvent) {
 	var mu sync.Mutex
 	// The staleness guard is keyed per (experiment, job count): every
 	// current driver fans out at most one grid per experiment, and a
 	// hypothetical second grid would almost certainly schedule a
 	// different job count and so start a fresh monotonic sequence.
 	printed := map[string]int{}
-	return func(ev experiments.ProgressEvent) {
+	return func(ev profirt.EngineEvent) {
 		step := ev.Total / 10
 		if step < 1 {
 			step = 1
@@ -125,11 +130,11 @@ func progressSink(w io.Writer) func(experiments.ProgressEvent) {
 		if ev.Done != ev.Total && ev.Done%step != 0 {
 			return
 		}
-		key := fmt.Sprintf("%s/%d", ev.Experiment, ev.Total)
+		key := fmt.Sprintf("%s/%d", ev.Op, ev.Total)
 		mu.Lock()
 		if ev.Done > printed[key] {
 			printed[key] = ev.Done
-			fmt.Fprintf(w, "%s: %d/%d jobs\n", ev.Experiment, ev.Done, ev.Total)
+			fmt.Fprintf(w, "%s: %d/%d jobs\n", ev.Op, ev.Done, ev.Total)
 		}
 		mu.Unlock()
 	}
@@ -140,9 +145,9 @@ func progressSink(w io.Writer) func(experiments.ProgressEvent) {
 // later cells are still running). Events for one table are already
 // serialised by the row streamer; the mutex only interleaves lines of
 // concurrently assembling tables cleanly.
-func rowSink(w io.Writer) func(stats.RowEvent) {
+func rowSink(w io.Writer) func(profirt.TableRowEvent) {
 	var mu sync.Mutex
-	return func(ev stats.RowEvent) {
+	return func(ev profirt.TableRowEvent) {
 		mu.Lock()
 		fmt.Fprintf(w, "%s row %d/%d: %s\n", ev.Table.Title, ev.Index+1, ev.Total, strings.Join(ev.Cells, "  "))
 		mu.Unlock()

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"profirt"
 	"profirt/internal/configfile"
 	"profirt/internal/core"
 	"profirt/internal/stats"
@@ -35,7 +37,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "profisched: %v\n", err)
 		os.Exit(1)
 	}
-	tables := analyse(net)
+	// The Engine runs the three per-policy analyses (one network is one
+	// batch entry); the token-cycle summary reads closed-form bounds
+	// straight off the model.
+	eng := profirt.NewEngine()
+	defer eng.Close()
+	verdicts := eng.AnalyzeNetworks(context.Background(), []profirt.Network{net}, profirt.AnalyzeOptions{})[0]
+	tables := analyse(net, verdicts)
 	for _, t := range tables {
 		if err := render(t, *format); err != nil {
 			fmt.Fprintf(os.Stderr, "profisched: %v\n", err)
@@ -45,7 +53,7 @@ func main() {
 	}
 }
 
-func analyse(net core.Network) []*stats.Table {
+func analyse(net core.Network, verdicts profirt.BatchResult) []*stats.Table {
 	sum := stats.NewTable("Token-cycle analysis (Eqs. 13-14)", "quantity", "bit times")
 	sum.AddRow("TTR", net.TTR)
 	sum.AddRow("T_del (Eq. 13)", net.TokenDelay())
@@ -60,9 +68,7 @@ func analyse(net core.Network) []*stats.Table {
 
 	per := stats.NewTable("Per-stream worst-case response times",
 		"master", "stream", "D", "R FCFS (Eq.11)", "R DM (Eq.16 rev)", "R EDF (Eq.17/18)", "FCFS ok", "DM ok", "EDF ok")
-	_, fv := core.FCFSSchedulable(net)
-	_, dv := core.DMSchedulable(net, core.DMOptions{})
-	_, ev := core.EDFSchedulableNet(net, core.EDFOptions{})
+	fv, dv, ev := verdicts.FCFS.Verdicts, verdicts.DM.Verdicts, verdicts.EDF.Verdicts
 	for i := range fv {
 		per.AddRow(fv[i].Master, fv[i].Stream, fv[i].D,
 			tick(fv[i].R), tick(dv[i].R), tick(ev[i].R),

@@ -15,10 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"profirt"
 	"profirt/internal/configfile"
 	"profirt/internal/core"
 	"profirt/internal/profibus"
@@ -42,12 +44,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// One Engine owns the worker pool for both modes; the topology
+	// path fans its per-round segment shards out on it.
+	eng := profirt.NewEngine(profirt.WithParallelism(*parallel))
+	defer eng.Close()
 	var tables []*stats.Table
 	var err error
 	if *topo {
-		tables, err = runTopology(flag.Arg(0), *horizon, *seed, *parallel)
+		tables, err = runTopology(eng, flag.Arg(0), *horizon, *seed)
 	} else {
-		tables, err = runSingle(flag.Arg(0), *horizon, *seed)
+		tables, err = runSingle(eng, flag.Arg(0), *horizon, *seed)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "profisim: %v\n", err)
@@ -62,7 +68,7 @@ func main() {
 	}
 }
 
-func runSingle(path string, horizon, seed int64) ([]*stats.Table, error) {
+func runSingle(eng *profirt.Engine, path string, horizon, seed int64) ([]*stats.Table, error) {
 	net, cfg, err := configfile.Load(path)
 	if err != nil {
 		return nil, err
@@ -73,14 +79,14 @@ func runSingle(path string, horizon, seed int64) ([]*stats.Table, error) {
 	if seed >= 0 {
 		cfg.Seed = seed
 	}
-	res, err := profibus.Simulate(cfg)
+	res, err := eng.Simulate(context.Background(), cfg)
 	if err != nil {
 		return nil, err
 	}
 	return report(net, cfg, res), nil
 }
 
-func runTopology(path string, horizon, seed int64, parallel int) ([]*stats.Table, error) {
+func runTopology(eng *profirt.Engine, path string, horizon, seed int64) ([]*stats.Table, error) {
 	top, sim, err := configfile.LoadTopology(path)
 	if err != nil {
 		return nil, err
@@ -93,15 +99,18 @@ func runTopology(path string, horizon, seed int64, parallel int) ([]*stats.Table
 	if seed >= 0 {
 		sim.Seed = seed
 	}
-	ana, err := topology.Analyze(top, topology.Options{})
+	anas, err := eng.AnalyzeTopologies(context.Background(), []profirt.Topology{top}, profirt.TopologyAnalyzeOptions{})
 	if err != nil {
 		return nil, err
 	}
-	res, err := topology.Simulate(sim, topology.SimOptions{Parallelism: parallel})
+	if anas[0].Err != nil {
+		return nil, anas[0].Err
+	}
+	res, err := eng.SimulateTopology(context.Background(), sim, profirt.TopologySimulateOptions{})
 	if err != nil {
 		return nil, err
 	}
-	return topologyReport(top, sim, ana, res), nil
+	return topologyReport(top, sim, anas[0].Result, res), nil
 }
 
 func report(net core.Network, cfg profibus.Config, res profibus.Result) []*stats.Table {

@@ -79,8 +79,50 @@
 // chain's origin stream. Relay chains may span any number of rings but
 // must be acyclic.
 //
+// # The Engine facade
+//
+// The front door to all of the above is the Engine: one long-lived
+// value constructed with functional options
+//
+//	eng := profirt.NewEngine(
+//	    profirt.WithParallelism(8),                      // pool width (default GOMAXPROCS)
+//	    profirt.WithCache(profirt.NewAnalysisCache(0)),  // shared RTA memo table
+//	    profirt.WithStore(store),                        // durable campaign results
+//	    profirt.WithRowSink(sink),                       // streamed table rows
+//	    profirt.WithProgress(progress),                  // per-job events
+//	)
+//	defer eng.Close()
+//
+// owning a single bounded worker pool that every workload shares:
+// N concurrent callers are admitted round-robin at job granularity
+// onto one worker set instead of each spinning GOMAXPROCS private
+// goroutines. Every method is context-first and byte-identical to the
+// legacy free function it supersedes, at any parallelism:
+//
+//	legacy entry point               Engine method
+//	------------------------------   ------------------------------------
+//	AnalyzeBatch(nets, opts)         Engine.AnalyzeNetworks(ctx, nets, AnalyzeOptions)
+//	AnalyzeTopologyBatch(tops, o)    Engine.AnalyzeTopologies(ctx, tops, TopologyAnalyzeOptions)
+//	AnalyzeHolistic(cfg)             Engine.AnalyzeHolistic(ctx, cfg)
+//	AnalyzeTopology(top, opts)       Engine.AnalyzeTopologies(ctx, []Topology{top}, ...)
+//	Simulate(cfg)                    Engine.Simulate(ctx, cfg)
+//	SimulateBatch(cfgs, opts)        Engine.SimulateBatch(ctx, cfgs, SimulateOptions)
+//	SimulateTopology(t, opts)        Engine.SimulateTopology(ctx, t, TopologySimulateOptions)
+//	Campaign.Run(opts)               Engine.RunCampaign(ctx, c, CampaignOptions)
+//	experiments (cmd only)           Engine.RunExperiments(ctx, ids, ExperimentOptions)
+//
+// The per-call knobs that used to ride on every options struct
+// (Parallelism, Context, Cache, Store, RowSink, Progress) moved to the
+// Engine — configured once, shared by every call — while the options
+// structs keep only what genuinely varies per call (DM/EDF tunables,
+// seeds, iteration caps). The legacy free functions remain and
+// delegate to a lazily built package-default Engine (see Default), so
+// existing code keeps compiling and even legacy callers now share one
+// bounded pool.
+//
 // This root package is a facade: it re-exports the library's primary
 // types and entry points so downstream users need a single import. The
 // implementation lives in internal packages (one per subsystem); the
-// runnable entry points live under cmd/ and examples/.
+// runnable entry points live under cmd/ and examples/. The exported
+// surface is pinned in testdata/api.golden (make apicheck).
 package profirt

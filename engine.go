@@ -1,0 +1,491 @@
+package profirt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"profirt/internal/campaign"
+	"profirt/internal/core"
+	"profirt/internal/experiments"
+	"profirt/internal/holistic"
+	"profirt/internal/memo"
+	"profirt/internal/pool"
+	"profirt/internal/profibus"
+	"profirt/internal/stats"
+	"profirt/internal/topology"
+)
+
+// Engine is the context-first facade over every workload in this
+// package: schedulability analysis (networks, topologies, holistic),
+// simulation (single runs, batches, topologies), durable campaigns and
+// the experiment harness. One long-lived Engine owns one bounded worker
+// pool, an optional shared AnalysisCache and an optional ResultStore;
+// every method draws on those shared resources, so any number of
+// concurrent callers submit work to the same pool and are admitted
+// fairly (round-robin at job granularity) instead of each spinning
+// GOMAXPROCS private workers and oversubscribing the machine.
+//
+// Construct with NewEngine and the With* functional options; the zero
+// value is not usable. An Engine is safe for concurrent use — that is
+// its purpose. All results are byte-identical to the legacy free
+// functions (and to each other) at any parallelism: determinism is owned
+// by per-job seed derivation and index-keyed result slots, never by
+// scheduling order.
+//
+// Callbacks installed with WithRowSink/WithProgress (and per-call
+// callbacks like SimulateOptions.OnResult) run on pool worker
+// goroutines: they must be cheap and concurrency-safe. Calling back
+// into the Engine from one is safe but defeats the sharing — the pool
+// detects re-entrant submissions and runs them on a private per-call
+// pool instead (see pool.Shared), since blocking a worker on work only
+// workers can run would deadlock.
+type Engine struct {
+	pool     *pool.Shared
+	cache    *memo.Cache
+	store    *memo.Store
+	rowSink  func(stats.RowEvent)
+	progress func(EngineEvent)
+}
+
+// EngineEvent reports one settled unit of Engine work to the progress
+// callback (WithProgress). Events are emitted concurrently from worker
+// goroutines.
+type EngineEvent struct {
+	// Op identifies the workload: an experiment ID ("E7"), "campaign",
+	// "analyze", "topology" or "simulate".
+	Op string
+	// Done and Total count settled vs scheduled jobs of the current
+	// operation.
+	Done, Total int
+	// Restored marks campaign jobs satisfied from the ResultStore
+	// rather than executed.
+	Restored bool
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine, *engineSetup)
+
+// engineSetup carries construction-only knobs.
+type engineSetup struct {
+	parallelism int
+}
+
+// WithParallelism sets the width of the Engine's worker pool — the
+// bound on concurrently executing jobs across every caller of this
+// Engine (sequential submissions — effective parallelism 1, including
+// single-item batches — run inline on their caller and sit outside
+// the bound; see pool.Shared). n <= 0 selects runtime.GOMAXPROCS(0).
+func WithParallelism(n int) EngineOption {
+	return func(_ *Engine, s *engineSetup) { s.parallelism = n }
+}
+
+// WithCache installs the shared analysis memo table consulted by every
+// analysis the Engine runs (batch, topology, holistic, campaign
+// verdicts, experiments). nil disables caching (the default). The
+// cache is caller-owned: the Engine never resets or closes it, and it
+// may be shared between several Engines.
+func WithCache(c *AnalysisCache) EngineOption {
+	return func(e *Engine, _ *engineSetup) { e.cache = c }
+}
+
+// WithStore installs the durable result store used by RunCampaign:
+// completed jobs are restored from it instead of re-executed, and newly
+// executed jobs are written through the moment they finish. nil runs
+// campaigns storeless (the default). The store is caller-owned: Close
+// it yourself after Engine.Close.
+func WithStore(s *ResultStore) EngineOption {
+	return func(e *Engine, _ *engineSetup) { e.store = s }
+}
+
+// WithRowSink installs a table-row callback: RunCampaign and
+// RunExperiments deliver each finished table row through it in grid
+// order, the moment the row's last job settles. Called concurrently
+// from worker goroutines.
+func WithRowSink(sink func(TableRowEvent)) EngineOption {
+	return func(e *Engine, _ *engineSetup) { e.rowSink = sink }
+}
+
+// WithProgress installs a per-job progress callback. Called
+// concurrently from worker goroutines; keep it cheap.
+func WithProgress(fn func(EngineEvent)) EngineOption {
+	return func(e *Engine, _ *engineSetup) { e.progress = fn }
+}
+
+// NewEngine builds an Engine: one bounded worker pool (WithParallelism,
+// default GOMAXPROCS) plus the shared resources selected by the other
+// options. Call Close when done with it to release the pool's worker
+// goroutines.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{}
+	var s engineSetup
+	for _, o := range opts {
+		o(e, &s)
+	}
+	e.pool = pool.NewShared(s.parallelism)
+	return e
+}
+
+// Parallelism returns the width of the Engine's worker pool.
+func (e *Engine) Parallelism() int { return e.pool.Workers() }
+
+// Cache returns the Engine's shared analysis cache (nil when caching
+// is disabled).
+func (e *Engine) Cache() *AnalysisCache { return e.cache }
+
+// Store returns the Engine's durable result store (nil when campaigns
+// run storeless).
+func (e *Engine) Store() *ResultStore { return e.store }
+
+// Close releases the Engine's worker goroutines after their current
+// jobs. In-flight method calls complete first; calling methods after
+// Close panics. The cache and store installed at construction are
+// caller-owned and stay open.
+func (e *Engine) Close() error {
+	e.pool.Close()
+	return nil
+}
+
+// defaultEngine backs the legacy free functions (AnalyzeBatch,
+// AnalyzeTopologyBatch, SimulateBatch): they delegate to one lazily
+// built package-default Engine, so even legacy callers share a single
+// bounded pool instead of spinning per-call workers.
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the package-default Engine: GOMAXPROCS workers, no
+// cache, no store, built on first use and never closed. The legacy
+// free functions run on it; new code should construct its own Engine
+// and choose its resources explicitly.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = NewEngine() })
+	return defaultEngine
+}
+
+// note emits one progress event when a progress callback is installed.
+func (e *Engine) note(op string, done *atomic.Int64, total int, restored bool) {
+	if e.progress != nil {
+		e.progress(EngineEvent{Op: op, Done: int(done.Add(1)), Total: total, Restored: restored})
+	}
+}
+
+// AnalyzeOptions tunes Engine.AnalyzeNetworks. Unlike the legacy
+// BatchOptions there is no MaxIterations field here: the network
+// analyses solve their fixed points to completion and the knob never
+// applied to them (it tunes the cross-segment jitter fixed point of
+// the topology analyses — see TopologyAnalyzeOptions).
+type AnalyzeOptions struct {
+	// DM tunes the Eq. 16 analysis applied to every network.
+	DM DMMessageOptions
+	// EDF tunes the Eqs. 17–18 analysis applied to every network.
+	EDF EDFMessageOptions
+}
+
+// AnalyzeNetworks evaluates the FCFS, DM and EDF schedulability
+// analyses for many network configurations on the Engine's shared
+// pool. Results are returned in input order (out[i] describes nets[i])
+// and are byte-identical at any parallelism. Cancel via ctx to stop
+// early; networks not yet evaluated come back with Skipped set.
+func (e *Engine) AnalyzeNetworks(ctx context.Context, nets []Network, opts AnalyzeOptions) []BatchResult {
+	return e.analyzeNetworks(ctx, nets, opts.DM, opts.EDF, e.cache, 0)
+}
+
+// analyzeNetworks is the shared implementation behind AnalyzeNetworks
+// and the legacy AnalyzeBatch: explicit cache and per-call in-flight
+// limit so the legacy per-call knobs keep working.
+func (e *Engine) analyzeNetworks(ctx context.Context, nets []Network, dm DMMessageOptions, edf EDFMessageOptions, cache *AnalysisCache, limit int) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Every slot starts Skipped; a dispatched job overwrites its own.
+	// Indices the pool never dispatches after cancellation thus come
+	// back marked, with no post-pass.
+	out := make([]BatchResult, len(nets))
+	for i := range out {
+		out[i] = BatchResult{Index: i, Skipped: true}
+	}
+	var done atomic.Int64
+	e.pool.RunContext(ctx, limit, len(nets), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		r := BatchResult{Index: i}
+		r.FCFS.Schedulable, r.FCFS.Verdicts = core.FCFSSchedulable(nets[i])
+		r.DM.Schedulable, r.DM.Verdicts = memo.DMSchedulable(cache, nets[i], dm)
+		r.EDF.Schedulable, r.EDF.Verdicts = memo.EDFSchedulableNet(cache, nets[i], edf)
+		out[i] = r
+		e.note("analyze", &done, len(nets), false)
+	})
+	return out
+}
+
+// TopologyAnalyzeOptions tunes Engine.AnalyzeTopologies.
+type TopologyAnalyzeOptions struct {
+	// DM and EDF tune the per-segment analyses.
+	DM  DMMessageOptions
+	EDF EDFMessageOptions
+	// MaxIterations caps each topology's cross-segment jitter fixed
+	// point; 0 selects the default (64), negative values are rejected.
+	MaxIterations int
+}
+
+// AnalyzeTopologies evaluates AnalyzeTopology for many bridged
+// multi-segment configurations on the Engine's shared pool, with the
+// same ordering, determinism and cancellation contract as
+// AnalyzeNetworks. It returns an error only for invalid options;
+// per-topology structural errors land in each result's Err field.
+func (e *Engine) AnalyzeTopologies(ctx context.Context, tops []Topology, opts TopologyAnalyzeOptions) ([]TopologyBatchResult, error) {
+	if opts.MaxIterations < 0 {
+		return nil, fmt.Errorf("profirt: AnalyzeTopologies: MaxIterations must be non-negative, got %d", opts.MaxIterations)
+	}
+	return e.analyzeTopologies(ctx, tops, topology.Options{
+		DM: opts.DM, EDF: opts.EDF, MaxIterations: opts.MaxIterations, Cache: e.cache,
+	}, 0), nil
+}
+
+// analyzeTopologies is the shared implementation behind
+// AnalyzeTopologies and the legacy AnalyzeTopologyBatch.
+func (e *Engine) analyzeTopologies(ctx context.Context, tops []Topology, topts topology.Options, limit int) []TopologyBatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]TopologyBatchResult, len(tops))
+	for i := range out {
+		out[i] = TopologyBatchResult{Index: i, Skipped: true}
+	}
+	var done atomic.Int64
+	e.pool.RunContext(ctx, limit, len(tops), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		r := TopologyBatchResult{Index: i}
+		r.Result, r.Err = topology.Analyze(tops[i], topts)
+		out[i] = r
+		e.note("topology", &done, len(tops), false)
+	})
+	return out
+}
+
+// AnalyzeHolistic solves the coupled task/message/delivery fixed point
+// (Secs. 4.1–4.2 composed with Sec. 2) for cfg. The Engine's shared
+// cache memoizes the message-level analyses unless cfg.Cache is
+// already set. The fixed point itself is a single sequential
+// computation; ctx is consulted before it starts.
+func (e *Engine) AnalyzeHolistic(ctx context.Context, cfg HolisticConfig) (HolisticResult, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return HolisticResult{}, ctx.Err()
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = e.cache
+	}
+	return holistic.Analyze(cfg)
+}
+
+// Simulate runs one PROFIBUS network simulation. A single run is one
+// sequential discrete-event computation, so it executes on the calling
+// goroutine; use SimulateBatch to fan independent runs across the
+// pool. ctx is consulted before the run starts.
+func (e *Engine) Simulate(ctx context.Context, cfg SimConfig) (SimResult, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return SimResult{}, ctx.Err()
+	}
+	return profibus.Simulate(cfg)
+}
+
+// SimulateOptions tunes Engine.SimulateBatch.
+type SimulateOptions struct {
+	// Seed is the batch base seed: run i simulates cfgs[i] with its
+	// Seed field replaced by Seed ⊕ FNV-1a(i) (SimBatchSeed), unless
+	// ConfigSeeds is set.
+	Seed int64
+	// ConfigSeeds uses each config's Seed verbatim instead of the
+	// derived one.
+	ConfigSeeds bool
+	// OnResult receives each run's result the moment its simulation
+	// completes, concurrently from worker goroutines.
+	OnResult func(SimBatchResult)
+}
+
+// SimulateBatch runs many independent network simulations on the
+// Engine's shared pool. Results return in input order and are
+// byte-identical at any parallelism (per-run seed derivation, see
+// SimulateOptions.Seed). Cancel via ctx; runs not yet started come
+// back with Skipped set.
+func (e *Engine) SimulateBatch(ctx context.Context, cfgs []SimConfig, opts SimulateOptions) []SimBatchResult {
+	onResult := opts.OnResult
+	if e.progress != nil {
+		var done atomic.Int64
+		inner := onResult
+		onResult = func(r SimBatchResult) {
+			if inner != nil {
+				inner(r)
+			}
+			e.note("simulate", &done, len(cfgs), false)
+		}
+	}
+	return profibus.SimulateBatch(cfgs, profibus.BatchOptions{
+		Pool:        e.pool,
+		Context:     ctx,
+		Seed:        opts.Seed,
+		ConfigSeeds: opts.ConfigSeeds,
+		OnResult:    onResult,
+	})
+}
+
+// TopologySimulateOptions tunes Engine.SimulateTopology.
+type TopologySimulateOptions struct {
+	// MaxRounds caps the bridge-exchange fixed point (0 selects the
+	// default: relay count + 2).
+	MaxRounds int
+}
+
+// SimulateTopology runs the sharded multi-segment simulation with the
+// per-round segment shards executing on the Engine's shared pool.
+// Results are byte-identical at any parallelism. ctx is consulted
+// before the simulation starts (the round structure exchanges state at
+// barriers, so mid-run cancellation is not supported).
+func (e *Engine) SimulateTopology(ctx context.Context, t SimTopology, opts TopologySimulateOptions) (TopologySimResult, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return TopologySimResult{}, ctx.Err()
+	}
+	return topology.Simulate(t, topology.SimOptions{Pool: e.pool, MaxRounds: opts.MaxRounds})
+}
+
+// CampaignOptions tunes Engine.RunCampaign.
+type CampaignOptions struct {
+	// StopAfter, when positive, cancels the campaign after that many
+	// newly executed jobs — the deterministic stand-in for kill -9 used
+	// by resume tests.
+	StopAfter int
+}
+
+// RunCampaign executes a compiled campaign on the Engine's shared
+// pool: jobs found in the Engine's ResultStore (WithStore) are
+// restored, the rest are simulated and written through as they land,
+// and the table assembles with rows streaming to the Engine's row sink
+// in grid order. The finished table is a pure function of the
+// manifest — independent of parallelism, interruptions and restores.
+func (e *Engine) RunCampaign(ctx context.Context, c *Campaign, opts CampaignOptions) (CampaignRunResult, error) {
+	var progress func(CampaignEvent)
+	if e.progress != nil {
+		progress = func(ev CampaignEvent) {
+			e.progress(EngineEvent{Op: "campaign", Done: ev.Done, Total: ev.Total, Restored: ev.Restored})
+		}
+	}
+	return c.Run(campaign.RunOptions{
+		Pool:      e.pool,
+		Context:   ctx,
+		Store:     e.store,
+		Cache:     e.cache,
+		RowSink:   e.rowSink,
+		Progress:  progress,
+		StopAfter: opts.StopAfter,
+	})
+}
+
+// ExperimentInfo describes one experiment driver.
+type ExperimentInfo struct {
+	// ID is the experiment key (e.g. "E7").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Anchor names the paper equation/section the experiment validates.
+	Anchor string
+}
+
+// Experiments lists the available experiment drivers (E1–E13) in index
+// order.
+func Experiments() []ExperimentInfo {
+	all := experiments.All()
+	out := make([]ExperimentInfo, len(all))
+	for i, ex := range all {
+		out[i] = ExperimentInfo{ID: ex.ID, Title: ex.Title, Anchor: ex.Anchor}
+	}
+	return out
+}
+
+// ExperimentOptions tunes Engine.RunExperiments.
+type ExperimentOptions struct {
+	// Seed drives all randomness; equal seeds reproduce tables exactly.
+	// 0 selects the default seed (1, the EXPERIMENTS.md configuration).
+	Seed int64
+	// Trials is the number of random instances per grid cell; 0 selects
+	// the default (40 full-size, 8 with Quick).
+	Trials int
+	// Quick reduces the parameter grids to smoke-test size.
+	Quick bool
+	// TrialShardMin sets the trial count at which a grid cell splits
+	// into per-trial pool jobs; 0 selects the default (16), negative
+	// disables sharding.
+	TrialShardMin int
+}
+
+// ExperimentResult is one experiment's outcome.
+type ExperimentResult struct {
+	// ID, Title and Anchor echo the driver's metadata.
+	ID, Title, Anchor string
+	// Tables holds the regenerated table(s).
+	Tables []*Table
+}
+
+// Table re-exports the experiment/campaign result table type.
+type Table = stats.Table
+
+// RenderTable writes a table to w in the given format ("plain", "md"
+// or "csv").
+var RenderTable = stats.Render
+
+// RunExperiments regenerates the reproduction tables for the named
+// experiments (nil or empty ids means all of E1–E13) on the Engine's
+// shared pool, with the Engine's cache memoizing repeated fixed points
+// and finished rows streaming to the Engine's row sink. Tables are
+// byte-identical at any parallelism. Cancelling ctx abandons cells not
+// yet dispatched, so the affected tables come back partial.
+func (e *Engine) RunExperiments(ctx context.Context, ids []string, opts ExperimentOptions) ([]ExperimentResult, error) {
+	cfg := experiments.DefaultConfig()
+	if opts.Quick {
+		cfg = experiments.QuickConfig()
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.Trials > 0 {
+		cfg.Trials = opts.Trials
+	}
+	cfg.TrialShardMin = opts.TrialShardMin
+	cfg.Pool = e.pool
+	cfg.Context = ctx
+	cfg.Cache = e.cache
+	cfg.RowSink = e.rowSink
+	if e.progress != nil {
+		cfg.Progress = func(ev experiments.ProgressEvent) {
+			e.progress(EngineEvent{Op: ev.Experiment, Done: ev.Done, Total: ev.Total})
+		}
+	}
+
+	var toRun []experiments.Experiment
+	if len(ids) == 0 {
+		toRun = experiments.All()
+	} else {
+		for _, id := range ids {
+			ex, ok := experiments.ByID(id)
+			if !ok {
+				return nil, fmt.Errorf("profirt: unknown experiment %q", id)
+			}
+			toRun = append(toRun, ex)
+		}
+	}
+	out := make([]ExperimentResult, 0, len(toRun))
+	for _, ex := range toRun {
+		if ctx != nil && ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		out = append(out, ExperimentResult{
+			ID: ex.ID, Title: ex.Title, Anchor: ex.Anchor, Tables: ex.Run(cfg),
+		})
+	}
+	return out, nil
+}

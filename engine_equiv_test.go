@@ -1,0 +1,344 @@
+package profirt_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"profirt"
+	"profirt/internal/experiments"
+	"profirt/internal/workload"
+)
+
+// This file holds the property the Engine redesign rests on: every
+// Engine method must produce results byte-identical to the legacy free
+// functions — and to itself — at any parallelism. The Engine only
+// changes WHERE jobs run (one shared bounded pool with fair admission
+// instead of per-call worker sets), never WHAT they compute:
+// determinism is owned by per-job seed derivation and index-keyed
+// result slots. Run under -race (make ci) these tests double as the
+// data-race gate for the shared pool.
+
+// enginePar is the parallelism ladder every equivalence property walks.
+func enginePar() []int { return []int{1, 2, runtime.GOMAXPROCS(0)} }
+
+func TestEngineEquivalenceAnalyzeNetworks(t *testing.T) {
+	nets := equivNets(101, 40, 2)
+	want := profirt.AnalyzeBatch(nets, profirt.BatchOptions{Parallelism: 1})
+	for _, p := range enginePar() {
+		eng := profirt.NewEngine(profirt.WithParallelism(p))
+		got := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{})
+		eng.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d: Engine.AnalyzeNetworks diverged from legacy AnalyzeBatch", p)
+		}
+	}
+	// A cached Engine must agree too (cache equivalence is proved in
+	// cache_equiv_test.go; here we assert the Engine wires it through).
+	eng := profirt.NewEngine(profirt.WithCache(profirt.NewAnalysisCache(0)))
+	defer eng.Close()
+	if got := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{}); !reflect.DeepEqual(got, want) {
+		t.Fatal("cached Engine.AnalyzeNetworks diverged")
+	}
+	if eng.Cache().Stats().Misses == 0 {
+		t.Fatal("Engine cache never consulted")
+	}
+}
+
+func TestEngineEquivalenceAnalyzeTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	tops := make([]profirt.Topology, 0, 12)
+	for i := 0; i < 6; i++ {
+		tops = append(tops, equivTopology(rng))
+	}
+	tops = append(tops, tops[:6]...)
+	want := profirt.AnalyzeTopologyBatch(tops, profirt.BatchOptions{Parallelism: 1})
+	for _, p := range enginePar() {
+		eng := profirt.NewEngine(profirt.WithParallelism(p))
+		got, err := eng.AnalyzeTopologies(context.Background(), tops, profirt.TopologyAnalyzeOptions{})
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if fmt.Sprint(want[i].Err) != fmt.Sprint(got[i].Err) {
+				t.Fatalf("parallelism %d: topology %d error mismatch", p, i)
+			}
+			if want[i].Err == nil && !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("parallelism %d: Engine.AnalyzeTopologies diverged on topology %d", p, i)
+			}
+		}
+	}
+}
+
+func TestEngineRejectsNegativeMaxIterations(t *testing.T) {
+	eng := profirt.NewEngine(profirt.WithParallelism(1))
+	defer eng.Close()
+	if _, err := eng.AnalyzeTopologies(context.Background(), nil, profirt.TopologyAnalyzeOptions{MaxIterations: -1}); err == nil {
+		t.Fatal("negative MaxIterations accepted")
+	}
+}
+
+func TestEngineEquivalenceAnalyzeHolistic(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	eng := profirt.NewEngine(profirt.WithParallelism(2), profirt.WithCache(profirt.NewAnalysisCache(0)))
+	defer eng.Close()
+	for trial := 0; trial < 10; trial++ {
+		cfg := equivHolistic(rng, profirt.DM)
+		want, errW := profirt.AnalyzeHolistic(cfg)
+		got, errG := eng.AnalyzeHolistic(context.Background(), cfg)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, errG, errW)
+		}
+		if errW == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Engine.AnalyzeHolistic diverged", trial)
+		}
+	}
+}
+
+// equivSimConfigs draws small simulator configurations with jitter
+// active, so per-run seed derivation is on the tested path.
+func equivSimConfigs(seed int64, n int) []profirt.SimConfig {
+	rng := rand.New(rand.NewSource(seed))
+	cfgs := make([]profirt.SimConfig, n)
+	for i := range cfgs {
+		p := workload.DefaultStreamSetParams()
+		p.Masters, p.StreamsPerMaster = 1+rng.Intn(2), 1+rng.Intn(3)
+		p.MaxJitter = 1_500
+		_, cfg := workload.StreamSet(rng, p)
+		cfg.Horizon = 150_000
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+func TestEngineEquivalenceSimulateBatch(t *testing.T) {
+	cfgs := equivSimConfigs(131, 12)
+	want := profirt.SimulateBatch(cfgs, profirt.SimBatchOptions{Parallelism: 1, Seed: 7})
+	for _, p := range enginePar() {
+		eng := profirt.NewEngine(profirt.WithParallelism(p))
+		got := eng.SimulateBatch(context.Background(), cfgs, profirt.SimulateOptions{Seed: 7})
+		eng.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallelism %d: Engine.SimulateBatch diverged from legacy SimulateBatch", p)
+		}
+	}
+	// Single-run methods agree with the batch's per-run seed contract.
+	eng := profirt.NewEngine(profirt.WithParallelism(1))
+	defer eng.Close()
+	cfg := cfgs[3]
+	cfg.Seed = profirt.SimBatchSeed(7, 3)
+	single, err := eng.Simulate(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(single, want[3].Result) {
+		t.Fatal("Engine.Simulate diverged from the batch run of the same config+seed")
+	}
+}
+
+// engineCampaignManifest is a small grid (2 networks' worth of rows via
+// two deadline scales, two policies, two trials).
+const engineCampaignManifest = `{
+  "name": "engine-equiv",
+  "seed": 5,
+  "trials": 2,
+  "policies": ["fcfs", "dm"],
+  "deadlineScales": [1.0, 0.5],
+  "networks": [{"name": "cell", "network": {
+    "ttr": 2000, "horizon": 250000,
+    "masters": [
+      {"addr": 1, "streams": [
+        {"name": "a", "slave": 30, "high": true, "period": 20000, "deadline": 15000},
+        {"name": "b", "slave": 30, "high": true, "period": 50000, "deadline": 40000}]}
+    ],
+    "slaves": [{"addr": 30, "tsdr": 30}]
+  }}]
+}`
+
+func TestEngineEquivalenceRunCampaign(t *testing.T) {
+	c, err := profirt.ParseCampaign([]byte(engineCampaignManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := c.Run(profirt.CampaignRunOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := legacy.Table.String()
+	for _, p := range enginePar() {
+		store, err := profirt.OpenResultStore(
+			fmt.Sprintf("%s/c%d.jsonl", t.TempDir(), p), c.Hash[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := profirt.NewEngine(profirt.WithParallelism(p), profirt.WithStore(store))
+		res, err := eng.RunCampaign(context.Background(), c, profirt.CampaignOptions{})
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Table.String(); got != want {
+			t.Fatalf("parallelism %d: Engine.RunCampaign table diverged:\n--- engine ---\n%s--- legacy ---\n%s", p, got, want)
+		}
+		if res.Executed != res.Jobs || res.Skipped != 0 {
+			t.Fatalf("parallelism %d: unexpected counts %+v", p, res)
+		}
+		// A second run against the Engine's store restores everything.
+		eng2 := profirt.NewEngine(profirt.WithParallelism(p), profirt.WithStore(store))
+		warm, err := eng2.RunCampaign(context.Background(), c, profirt.CampaignOptions{})
+		eng2.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Restored != warm.Jobs || warm.Table.String() != want {
+			t.Fatalf("parallelism %d: warm Engine.RunCampaign diverged (%+v)", p, warm)
+		}
+		store.Close()
+	}
+}
+
+func TestEngineEquivalenceRunExperiments(t *testing.T) {
+	// One representative message-level experiment, quick size; the
+	// direct driver (legacy path) is the reference.
+	want := experimentTables(t, "E7")
+	for _, p := range enginePar() {
+		eng := profirt.NewEngine(profirt.WithParallelism(p))
+		res, err := eng.RunExperiments(context.Background(), []string{"E7"}, profirt.ExperimentOptions{Quick: true})
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].ID != "E7" {
+			t.Fatalf("parallelism %d: unexpected result set %+v", p, res)
+		}
+		if got := tableStrings(res[0].Tables); got != want {
+			t.Fatalf("parallelism %d: Engine.RunExperiments tables diverged:\n--- engine ---\n%s--- legacy ---\n%s", p, got, want)
+		}
+	}
+	eng := profirt.NewEngine(profirt.WithParallelism(1))
+	defer eng.Close()
+	if _, err := eng.RunExperiments(context.Background(), []string{"E99"}, profirt.ExperimentOptions{Quick: true}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+// TestEngineSharedUseUnderConcurrency drives one Engine from many
+// goroutines mixing workloads — the deployment shape the redesign is
+// for — and requires every caller to see exactly the sequential
+// results. Under -race this is the integration-level data-race gate.
+func TestEngineSharedUseUnderConcurrency(t *testing.T) {
+	nets := equivNets(139, 24, 2)
+	cfgs := equivSimConfigs(149, 8)
+	wantNets := profirt.AnalyzeBatch(nets, profirt.BatchOptions{Parallelism: 1})
+	wantSims := profirt.SimulateBatch(cfgs, profirt.SimBatchOptions{Parallelism: 1, Seed: 3})
+
+	eng := profirt.NewEngine(profirt.WithParallelism(4), profirt.WithCache(profirt.NewAnalysisCache(0)))
+	defer eng.Close()
+	const callers = 6
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for w := 0; w < callers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if w%2 == 0 {
+				got := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{})
+				if !reflect.DeepEqual(got, wantNets) {
+					errs[w] = fmt.Errorf("caller %d: analysis diverged under concurrency", w)
+				}
+			} else {
+				got := eng.SimulateBatch(context.Background(), cfgs, profirt.SimulateOptions{Seed: 3})
+				if !reflect.DeepEqual(got, wantSims) {
+					errs[w] = fmt.Errorf("caller %d: simulation diverged under concurrency", w)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// experimentTables runs one experiment via the direct (legacy) driver
+// at quick size and renders its tables.
+func experimentTables(t *testing.T, id string) string {
+	t.Helper()
+	ex, ok := experiments.ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	return tableStrings(ex.Run(experiments.QuickConfig()))
+}
+
+func tableStrings(tables []*profirt.Table) string {
+	var sb strings.Builder
+	for _, tb := range tables {
+		sb.WriteString(tb.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestEngineCancellationMarksSkipped(t *testing.T) {
+	nets := equivNets(151, 16, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := profirt.NewEngine(profirt.WithParallelism(2))
+	defer eng.Close()
+	for i, r := range eng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{}) {
+		if !r.Skipped || r.Index != i {
+			t.Fatalf("result %d not marked skipped after pre-cancel: %+v", i, r)
+		}
+	}
+	if _, err := eng.AnalyzeHolistic(ctx, profirt.HolisticConfig{}); err == nil {
+		t.Fatal("AnalyzeHolistic ignored a cancelled context")
+	}
+	if _, err := eng.Simulate(ctx, profirt.SimConfig{}); err == nil {
+		t.Fatal("Simulate ignored a cancelled context")
+	}
+}
+
+func TestEngineProgressAndRowSink(t *testing.T) {
+	c, err := profirt.ParseCampaign([]byte(engineCampaignManifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events, rows int
+	eng := profirt.NewEngine(
+		profirt.WithParallelism(2),
+		profirt.WithProgress(func(ev profirt.EngineEvent) {
+			mu.Lock()
+			if ev.Op == "campaign" {
+				events++
+			}
+			mu.Unlock()
+		}),
+		profirt.WithRowSink(func(ev profirt.TableRowEvent) {
+			mu.Lock()
+			rows++
+			mu.Unlock()
+		}),
+	)
+	defer eng.Close()
+	res, err := eng.RunCampaign(context.Background(), c, profirt.CampaignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != res.Jobs {
+		t.Fatalf("progress reported %d events for %d jobs", events, res.Jobs)
+	}
+	if rows != c.Rows() {
+		t.Fatalf("row sink saw %d rows, want %d", rows, c.Rows())
+	}
+}

@@ -2,13 +2,16 @@
 // directory three ways — uninterrupted, killed mid-run and resumed,
 // and warm-started against the finished store — and shows all three
 // produce byte-identical tables, with the store absorbing every
-// completed job the moment it lands. It also demonstrates SimulateBatch
-// directly (the engine underneath) and the row-streaming sink.
+// completed job the moment it lands. Each phase is an Engine
+// constructed with the resources it needs (worker pool width, result
+// store, row sink); it also demonstrates Engine.SimulateBatch directly
+// (the layer underneath campaigns).
 //
 // Run with: go run ./examples/campaign
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,13 +38,15 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
+	ctx := context.Background()
+
 	// 1. Uninterrupted, storeless run with rows streaming as they land.
 	fmt.Println("--- uninterrupted run (rows stream in grid order) ---")
-	full, err := c.Run(profirt.CampaignRunOptions{
-		RowSink: func(e profirt.TableRowEvent) {
-			fmt.Printf("  row %d/%d settled\n", e.Index+1, e.Total)
-		},
-	})
+	fullEng := profirt.NewEngine(profirt.WithRowSink(func(e profirt.TableRowEvent) {
+		fmt.Printf("  row %d/%d settled\n", e.Index+1, e.Total)
+	}))
+	full, err := fullEng.RunCampaign(ctx, c, profirt.CampaignOptions{})
+	fullEng.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,18 +57,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	killed, err := c.Run(profirt.CampaignRunOptions{
-		Parallelism: 2,
-		Store:       store,
-		StopAfter:   4, // stand-in for kill -9 at an arbitrary point
+	killEng := profirt.NewEngine(profirt.WithParallelism(2), profirt.WithStore(store))
+	killed, err := killEng.RunCampaign(ctx, c, profirt.CampaignOptions{
+		StopAfter: 4, // stand-in for kill -9 at an arbitrary point
 	})
+	killEng.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n--- killed after %d executed jobs (%d skipped) ---\n",
 		killed.Executed, killed.Skipped)
 
-	resumed, err := c.Run(profirt.CampaignRunOptions{Store: store})
+	// 3. Resume and warm start share one Engine: the store is an Engine
+	// resource, so repeated RunCampaign calls restore from it.
+	eng := profirt.NewEngine(profirt.WithStore(store))
+	defer eng.Close()
+	resumed, err := eng.RunCampaign(ctx, c, profirt.CampaignOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,9 +81,9 @@ func main() {
 	fmt.Printf("resumed table identical to uninterrupted: %v\n",
 		resumed.Table.String() == full.Table.String())
 
-	// 3. Warm start: a repeated campaign against the same store
-	// executes nothing at all.
-	warm, err := c.Run(profirt.CampaignRunOptions{Store: store})
+	// Warm start: a repeated campaign against the same store executes
+	// nothing at all.
+	warm, err := eng.RunCampaign(ctx, c, profirt.CampaignOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,15 +95,19 @@ func main() {
 
 	fmt.Println(full.Table.String())
 
-	// SimulateBatch is the engine underneath: independent simulations
-	// with per-run seeds Seed ⊕ FNV(index), deterministic at any
-	// parallelism.
+	// Engine.SimulateBatch is the layer underneath campaigns:
+	// independent simulations with per-run seeds Seed ⊕ FNV(index),
+	// deterministic at any parallelism.
 	cfgs := make([]profirt.SimConfig, 0, 4)
 	for _, j := range c.Jobs()[:4] {
 		cfgs = append(cfgs, j.Config)
 	}
-	seq := profirt.SimulateBatch(cfgs, profirt.SimBatchOptions{Parallelism: 1, Seed: 9})
-	par := profirt.SimulateBatch(cfgs, profirt.SimBatchOptions{Parallelism: runtime.GOMAXPROCS(0), Seed: 9})
+	seqEng := profirt.NewEngine(profirt.WithParallelism(1))
+	seq := seqEng.SimulateBatch(ctx, cfgs, profirt.SimulateOptions{Seed: 9})
+	seqEng.Close()
+	parEng := profirt.NewEngine(profirt.WithParallelism(runtime.GOMAXPROCS(0)))
+	par := parEng.SimulateBatch(ctx, cfgs, profirt.SimulateOptions{Seed: 9})
+	parEng.Close()
 	agree := true
 	for i := range seq {
 		if seq[i].Result.WorstTRR() != par[i].Result.WorstTRR() {

@@ -10,12 +10,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"profirt"
 	"profirt/internal/ap"
 	"profirt/internal/core"
-	"profirt/internal/profibus"
 	"profirt/internal/workload"
 )
 
@@ -26,6 +26,13 @@ func main() {
 	fmt.Printf("machining cell: %d masters, T_del = %v, T_cycle = %v\n\n",
 		len(net.Masters), net.TokenDelay(), net.TokenCycle())
 
+	// One Engine drives all three policy analyses (one batch call) and
+	// the three per-policy simulations.
+	eng := profirt.NewEngine()
+	defer eng.Close()
+	ctx := context.Background()
+	analysis := eng.AnalyzeNetworks(ctx, []profirt.Network{net}, profirt.AnalyzeOptions{})[0]
+
 	type row struct {
 		policy   string
 		verdicts []core.StreamVerdict
@@ -34,20 +41,14 @@ func main() {
 	}
 	var rows []row
 
+	perPolicy := map[ap.Policy]profirt.PolicyVerdict{
+		ap.FCFS: analysis.FCFS, ap.DM: analysis.DM, ap.EDF: analysis.EDF,
+	}
 	for _, pol := range []ap.Policy{ap.FCFS, ap.DM, ap.EDF} {
-		var ok bool
-		var verdicts []core.StreamVerdict
-		switch pol {
-		case ap.FCFS:
-			ok, verdicts = profirt.FCFSSchedulable(net)
-		case ap.DM:
-			ok, verdicts = profirt.DMSchedulable(net, profirt.DMMessageOptions{})
-		case ap.EDF:
-			ok, verdicts = profirt.EDFSchedulableNet(net, profirt.EDFMessageOptions{})
-		}
+		ok, verdicts := perPolicy[pol].Schedulable, perPolicy[pol].Verdicts
 
 		_, cfg := workload.DCCSCell(pol, ttr)
-		res, err := profibus.Simulate(cfg)
+		res, err := eng.Simulate(ctx, cfg)
 		if err != nil {
 			panic(err)
 		}
@@ -84,8 +85,7 @@ func main() {
 	// Show the per-stream picture under FCFS vs DM.
 	fmt.Printf("\nper-stream bounds at TTR=%d (bit times; 500 ticks = 1 ms):\n", ttr)
 	fmt.Printf("%-18s %-9s %-12s %-12s\n", "stream", "D", "R FCFS", "R DM")
-	_, fv := profirt.FCFSSchedulable(net)
-	_, dv := profirt.DMSchedulable(net, profirt.DMMessageOptions{})
+	fv, dv := analysis.FCFS.Verdicts, analysis.DM.Verdicts
 	for i := range fv {
 		mark := "  "
 		if !fv[i].OK && dv[i].OK {

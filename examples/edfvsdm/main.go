@@ -4,10 +4,15 @@
 // priority-based AP dispatching supports tighter deadlines, with EDF
 // and DM trading places depending on the deadline pattern.
 //
+// The whole sweep is one Engine.AnalyzeNetworks call: one Network per
+// deadline scale, all three policy analyses per network, evaluated
+// concurrently on the Engine's shared pool and returned in sweep order.
+//
 // Run with: go run ./examples/edfvsdm
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"profirt"
@@ -15,47 +20,47 @@ import (
 )
 
 func main() {
-	const tc = 2_500 // T_cycle of the surrounding network, in bit times
-
 	base := []profirt.Stream{
 		{Name: "fast", Ch: 300, D: 20_000, T: 40_000},
 		{Name: "mid", Ch: 350, D: 45_000, T: 90_000},
 		{Name: "slow", Ch: 400, D: 120_000, T: 240_000},
 		{Name: "bulk", Ch: 500, D: 200_000, T: 400_000},
 	}
-	nh := profirt.Ticks(len(base))
-
-	fmt.Printf("one master, %d high streams, T_cycle = %d\n", len(base), tc)
-	fmt.Printf("FCFS bound for every stream: nh*T_cycle = %d\n\n", nh*tc)
-
-	fmt.Printf("%-7s %-9s %-22s %-22s %-22s\n",
-		"scale", "tightest", "FCFS (Eq.11)", "DM (Eq.16 rev)", "EDF (Eq.17/18)")
-	for _, scale := range []float64{1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.2} {
+	// One master with TTR 2000: T_del is its longest cycle (500 bit
+	// times), so T_cycle = TTR + T_del = 2500.
+	network := func(scale float64) profirt.Network {
 		streams := make([]profirt.Stream, len(base))
 		copy(streams, base)
 		for i := range streams {
 			streams[i].D = profirt.Ticks(scale * float64(streams[i].D))
 		}
-		dm := profirt.DMResponseTimes(streams, tc, profirt.DMMessageOptions{})
-		edf := profirt.EDFMessageResponseTimes(streams, tc, profirt.EDFMessageOptions{})
+		return profirt.Network{TTR: 2_000, Masters: []profirt.Master{{Name: "m1", High: streams}}}
+	}
 
-		okFCFS, okDM, okEDF := true, true, true
-		for i := range streams {
-			if nh*tc > streams[i].D {
-				okFCFS = false
-			}
-			if dm[i] > streams[i].D {
-				okDM = false
-			}
-			if edf[i] > streams[i].D {
-				okEDF = false
-			}
-		}
+	scales := []float64{1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.2}
+	nets := make([]profirt.Network, len(scales))
+	for i, scale := range scales {
+		nets[i] = network(scale)
+	}
+
+	eng := profirt.NewEngine()
+	defer eng.Close()
+	results := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{})
+
+	tc := nets[0].TokenCycle()
+	nh := profirt.Ticks(len(base))
+	fmt.Printf("one master, %d high streams, T_cycle = %d\n", len(base), tc)
+	fmt.Printf("FCFS bound for every stream: nh*T_cycle = %d\n\n", nh*tc)
+
+	fmt.Printf("%-7s %-9s %-22s %-22s %-22s\n",
+		"scale", "tightest", "FCFS (Eq.11)", "DM (Eq.16 rev)", "EDF (Eq.17/18)")
+	for i, scale := range scales {
+		r := results[i]
 		fmt.Printf("%-7.1f %-9v %-22s %-22s %-22s\n",
-			scale, streams[0].D,
-			verdict(okFCFS, nh*tc),
-			verdict(okDM, dm[0]),
-			verdict(okEDF, edf[0]))
+			scale, r.DM.Verdicts[0].D,
+			verdict(r.FCFS.Schedulable, r.FCFS.Verdicts[0].R),
+			verdict(r.DM.Schedulable, r.DM.Verdicts[0].R),
+			verdict(r.EDF.Schedulable, r.EDF.Verdicts[0].R))
 	}
 
 	fmt.Println("\nReading: the cell shows each policy's verdict and the bound of the")

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"profirt"
@@ -51,7 +52,12 @@ func main() {
 		},
 	}
 
-	res, err := profirt.AnalyzeHolistic(cfg)
+	// The holistic fixed point runs through an Engine like every other
+	// workload; a sweep of configurations would share its pool and
+	// analysis cache.
+	eng := profirt.NewEngine(profirt.WithCache(profirt.NewAnalysisCache(0)))
+	defer eng.Close()
+	res, err := eng.AnalyzeHolistic(context.Background(), cfg)
 	if err != nil {
 		panic(err)
 	}

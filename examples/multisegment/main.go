@@ -3,17 +3,20 @@
 // relayed onto the "control" ring, where a controller stream consumes
 // it under an end-to-end deadline spanning both rings. The example
 // builds one description, derives the matched analytic topology from
-// it, runs AnalyzeTopology (per-segment verdicts + composed end-to-end
-// bounds) and SimulateTopology (per-segment simulation shards on a
-// worker pool, exchanging relayed releases at the bridge), and shows
-// the simulated worst cases staying below the analytic bounds. It then
-// sweeps the bridge latency with AnalyzeTopologyBatch to find the
-// largest store-and-forward delay the deadline tolerates.
+// it, and drives both workloads through one Engine:
+// Engine.AnalyzeTopologies (per-segment verdicts + composed end-to-end
+// bounds) and Engine.SimulateTopology (per-segment simulation shards on
+// the Engine's shared pool, exchanging relayed releases at the bridge),
+// showing the simulated worst cases staying below the analytic bounds.
+// It then sweeps the bridge latency with the same AnalyzeTopologies
+// call to find the largest store-and-forward delay the deadline
+// tolerates.
 //
 // Run with: go run ./examples/multisegment
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"profirt"
@@ -67,10 +70,20 @@ func main() {
 	st := buildTopology(1_000)
 	top := profirt.TopologyFromSimTopology(st)
 
-	ana, err := profirt.AnalyzeTopology(top, profirt.TopologyOptions{})
+	// One Engine serves the single analysis, the sharded simulation and
+	// the closing sweep.
+	eng := profirt.NewEngine()
+	defer eng.Close()
+	ctx := context.Background()
+
+	anas, err := eng.AnalyzeTopologies(ctx, []profirt.Topology{top}, profirt.TopologyAnalyzeOptions{})
 	if err != nil {
 		panic(err)
 	}
+	if anas[0].Err != nil {
+		panic(anas[0].Err)
+	}
+	ana := anas[0].Result
 	fmt.Printf("analysis: converged in %d iterations, schedulable = %v\n",
 		ana.Iterations, ana.Schedulable)
 	for _, seg := range ana.Segments {
@@ -83,7 +96,7 @@ func main() {
 	fmt.Printf("  relay %s: E2E bound %v (= source R %v + latency %v folded in), deadline %v\n\n",
 		relay.Name, relay.EndToEnd, relay.FromResponse, relay.Latency, relay.Deadline)
 
-	sim, err := profirt.SimulateTopology(st, profirt.TopologySimOptions{})
+	sim, err := eng.SimulateTopology(ctx, st, profirt.TopologySimulateOptions{})
 	if err != nil {
 		panic(err)
 	}
@@ -104,8 +117,12 @@ func main() {
 	for i, l := range latencies {
 		tops[i] = profirt.TopologyFromSimTopology(buildTopology(l))
 	}
-	fmt.Println("bridge-latency sweep (AnalyzeTopologyBatch):")
-	for i, r := range profirt.AnalyzeTopologyBatch(tops, profirt.BatchOptions{}) {
+	fmt.Println("bridge-latency sweep (Engine.AnalyzeTopologies):")
+	sweep, err := eng.AnalyzeTopologies(ctx, tops, profirt.TopologyAnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range sweep {
 		if r.Err != nil {
 			panic(r.Err)
 		}

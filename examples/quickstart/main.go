@@ -1,12 +1,19 @@
-// Quickstart: describe a small PROFIBUS network once, then (a) run the
-// paper's pre-run-time schedulability analyses on it and (b) simulate
-// it, comparing analytic worst-case response-time bounds with observed
-// worst cases.
+// Quickstart: describe a small PROFIBUS network once, construct one
+// profirt.Engine, then (a) run the paper's pre-run-time schedulability
+// analyses on it and (b) simulate it, comparing analytic worst-case
+// response-time bounds with observed worst cases.
+//
+// The Engine is the package's front door: it owns a bounded worker
+// pool plus (optionally) a shared analysis cache and a durable result
+// store, and every workload — analysis, simulation, campaigns,
+// experiments — is a context-first method on it. One Engine serves any
+// number of concurrent callers without oversubscribing the machine.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"profirt"
@@ -49,6 +56,14 @@ func main() {
 		Jitter:  0,
 	}
 
+	// One Engine for the whole program. WithCache is overkill for a
+	// single network but shows where the shared memo table plugs in —
+	// a sweep over thousands of configurations would reuse it across
+	// every call.
+	eng := profirt.NewEngine(profirt.WithCache(profirt.NewAnalysisCache(0)))
+	defer eng.Close()
+	ctx := context.Background()
+
 	// Analysis: derive the model and apply Eqs. 13-16.
 	net := profirt.NetworkFromSimConfig(cfg)
 	fmt.Printf("T_del  (Eq. 13) = %v bit times\n", net.TokenDelay())
@@ -57,11 +72,16 @@ func main() {
 		fmt.Printf("max TTR (Eq. 15, FCFS) = %v bit times\n", ttr)
 	}
 
-	okDM, verdicts := profirt.DMSchedulable(net, profirt.DMMessageOptions{})
-	fmt.Printf("\nDM-schedulable: %v\n", okDM)
+	// AnalyzeNetworks evaluates FCFS, DM and EDF in one call; a slice
+	// of thousands of networks would fan out across the Engine's pool
+	// exactly the same way.
+	analysis := eng.AnalyzeNetworks(ctx, []profirt.Network{net}, profirt.AnalyzeOptions{})[0]
+	verdicts := analysis.DM.Verdicts
+	fmt.Printf("\nDM-schedulable: %v (FCFS: %v, EDF: %v)\n",
+		analysis.DM.Schedulable, analysis.FCFS.Schedulable, analysis.EDF.Schedulable)
 
 	// Simulation: observe actual worst responses under the same setup.
-	res, err := profirt.Simulate(cfg)
+	res, err := eng.Simulate(ctx, cfg)
 	if err != nil {
 		panic(err)
 	}

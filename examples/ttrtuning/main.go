@@ -1,19 +1,21 @@
 // TTR tuning: Eq. 15 gives the largest target token rotation time that
 // keeps all high-priority traffic schedulable under stock FCFS
 // PROFIBUS. This example computes the bound for the DCCS cell, sweeps
-// T_TR across it, and shows (a) the analysis flipping exactly at the
-// bound and (b) simulated deadline behaviour on both sides — the
-// analysis is sufficient, so misses can only appear above the bound.
+// T_TR across it — the whole sweep is one Engine.AnalyzeNetworks call
+// plus one Engine.SimulateBatch call — and shows (a) the analysis
+// flipping exactly at the bound and (b) simulated deadline behaviour on
+// both sides — the analysis is sufficient, so misses can only appear
+// above the bound.
 //
 // Run with: go run ./examples/ttrtuning
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"profirt"
 	"profirt/internal/ap"
-	"profirt/internal/profibus"
 	"profirt/internal/workload"
 )
 
@@ -25,32 +27,46 @@ func main() {
 	}
 	fmt.Printf("Eq. 15: largest schedulable TTR for the DCCS cell = %v bit times\n\n", bound)
 
-	fmt.Printf("%-10s %-18s %-12s %-14s\n", "TTR", "Eq.12 verdict", "sim misses", "worst TRR/bound")
-	for _, factor := range []float64{0.25, 0.5, 0.75, 1.0, 1.25, 2.0, 4.0} {
+	// Build the sweep once, then run it as two Engine batch calls: the
+	// Eq. 12 verdicts for every TTR and the matching simulations
+	// (ConfigSeeds keeps each cell's own seed, so results match
+	// one-at-a-time runs exactly).
+	factors := []float64{0.25, 0.5, 0.75, 1.0, 1.25, 2.0, 4.0}
+	nets := make([]profirt.Network, len(factors))
+	cfgs := make([]profirt.SimConfig, len(factors))
+	for i, factor := range factors {
 		ttr := profirt.Ticks(float64(bound) * factor)
 		if ttr < 1 {
 			ttr = 1
 		}
-		net, cfg := workload.DCCSCell(ap.FCFS, ttr)
-		ok, _ := profirt.FCFSSchedulable(net)
-		res, err := profibus.Simulate(cfg)
-		if err != nil {
-			panic(err)
+		nets[i], cfgs[i] = workload.DCCSCell(ap.FCFS, ttr)
+	}
+	eng := profirt.NewEngine()
+	defer eng.Close()
+	ctx := context.Background()
+	analyses := eng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
+	sims := eng.SimulateBatch(ctx, cfgs, profirt.SimulateOptions{ConfigSeeds: true})
+
+	fmt.Printf("%-10s %-18s %-12s %-14s\n", "TTR", "Eq.12 verdict", "sim misses", "worst TRR/bound")
+	for i := range factors {
+		if sims[i].Err != nil {
+			panic(sims[i].Err)
 		}
+		res := sims[i].Result
 		var misses int64
 		for mi, m := range res.PerMaster {
 			for si, st := range m.PerStream {
-				if cfg.Masters[mi].Streams[si].High {
+				if cfgs[i].Masters[mi].Streams[si].High {
 					misses += st.Missed
 				}
 			}
 		}
 		verdict := "schedulable"
-		if !ok {
+		if !analyses[i].FCFS.Schedulable {
 			verdict = "NOT schedulable"
 		}
 		fmt.Printf("%-10v %-18s %-12d %v/%v\n",
-			ttr, verdict, misses, res.WorstTRR(), net.TokenCycle())
+			nets[i].TTR, verdict, misses, res.WorstTRR(), nets[i].TokenCycle())
 	}
 
 	fmt.Println("\nNote: Eq. 15 is sufficient, not necessary — above the bound the")

@@ -7,9 +7,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"profirt/internal/memo"
+	"profirt/internal/pool"
 	"profirt/internal/stats"
 )
 
@@ -26,8 +28,19 @@ type Config struct {
 	// 0 means runtime.GOMAXPROCS(0); 1 forces sequential execution.
 	// Tables are byte-identical regardless of the value: every cell
 	// draws from its own deterministically seeded RNG and results are
-	// reassembled in grid order.
+	// reassembled in grid order. With Pool set it instead bounds the
+	// run's in-flight jobs on the shared pool (0 means the pool width).
 	Parallelism int
+	// Pool, when non-nil, evaluates grid cells on a shared long-lived
+	// worker pool instead of a per-call one, so concurrent experiment
+	// runs (and other batch work) share one bounded worker set. Tables
+	// are byte-identical either way.
+	Pool *pool.Shared
+	// Context cancels a run early; nil means no cancellation. Cells not
+	// yet dispatched when it is done are skipped, so the affected
+	// tables come back with their rows missing — a cancelled run's
+	// output is partial, not byte-identical to a completed one.
+	Context context.Context
 	// TrialShardMin sets the trial count at which a grid cell splits
 	// into per-trial sub-jobs on the worker pool (see forEachCellTrial):
 	// 0 selects the default (16, so full-size 40-trial cells shard and

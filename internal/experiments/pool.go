@@ -44,11 +44,11 @@ func cellRNG(cfg Config, experimentID string, cell int) *rand.Rand {
 func runJobs(cfg Config, experimentID string, n int, fn func(i int)) {
 	prog := cfg.Progress
 	if prog == nil {
-		pool.Run(cfg.Parallelism, n, fn)
+		pool.Do(cfg.Context, cfg.Pool, cfg.Parallelism, n, fn)
 		return
 	}
 	var done atomic.Int64
-	pool.Run(cfg.Parallelism, n, func(i int) {
+	pool.Do(cfg.Context, cfg.Pool, cfg.Parallelism, n, func(i int) {
 		fn(i)
 		prog(ProgressEvent{Experiment: experimentID, Done: int(done.Add(1)), Total: n})
 	})

@@ -1,0 +1,145 @@
+package memo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreCompactDropsDeadLinesAndPreservesState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	meta := []byte("manifest-hash")
+	s, err := OpenStore(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Put(storeKey(i), []byte(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate kill-mid-write damage: a torn tail record plus a
+	// corrupted line in the middle are both dead weight the next open
+	// drops but the append-only file keeps forever.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"k\":\"corrupt\",\"v\":1,\"h\":\"nope\"}\n{\"k\":\"torn"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err = OpenStore(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Dropped != 2 || st.Entries != 8 {
+		t.Fatalf("damaged reopen stats = %+v, want 2 dropped / 8 entries", st)
+	}
+	dirtySize := fileSize(t, path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Dropped != 0 || st.Entries != 8 || st.Compactions != 1 {
+		t.Fatalf("post-compact stats = %+v", st)
+	}
+	if got := fileSize(t, path); got >= dirtySize {
+		t.Fatalf("compaction did not shrink the file: %d -> %d bytes", dirtySize, got)
+	}
+	// The live store stays fully usable: resident reads hit, and new
+	// appends land in the compacted file.
+	if v, ok := s.Get(storeKey(3)); !ok || string(v) != `{"v":3}` {
+		t.Fatalf("post-compact Get = %q, %v", v, ok)
+	}
+	if err := s.Put(storeKey(100), []byte(`{"v":100}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopen of the compacted file sees every record — including the
+	// post-compact append — under the same meta binding, with nothing
+	// dropped.
+	s2, err := OpenStore(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Dropped != 0 || st.Entries != 9 {
+		t.Fatalf("compacted reopen stats = %+v, want 0 dropped / 9 entries", st)
+	}
+	for i := 0; i < 8; i++ {
+		if v, ok := s2.Get(storeKey(i)); !ok || string(v) != fmt.Sprintf(`{"v":%d}`, i) {
+			t.Fatalf("compacted Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	if _, ok := s2.Get(storeKey(100)); !ok {
+		t.Fatal("post-compact append lost across reopen")
+	}
+	// The meta binding survives compaction: a different meta is still
+	// rejected.
+	if _, err := OpenStore(path, []byte("other")); err == nil {
+		t.Fatal("compacted store accepted mismatched meta")
+	}
+}
+
+func TestStoreCompactIsDeterministic(t *testing.T) {
+	// Two stores holding the same records compact to identical bytes
+	// regardless of insertion order (records are rewritten in sorted
+	// key order).
+	dir := t.TempDir()
+	build := func(name string, order []int) string {
+		path := filepath.Join(dir, name)
+		s, err := OpenStore(path, []byte("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range order {
+			if err := s.Put(storeKey(i), []byte(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := build("a.jsonl", []int{0, 1, 2, 3, 4})
+	b := build("b.jsonl", []int{4, 2, 0, 3, 1})
+	ra, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ra) != string(rb) {
+		t.Fatal("compacted stores with equal content differ byte-wise")
+	}
+}
+
+func TestStoreCompactNil(t *testing.T) {
+	var s *Store
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}

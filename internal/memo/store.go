@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -35,13 +36,16 @@ import (
 // "persistence disabled" value: Get misses and Put is a no-op,
 // mirroring the nil *Cache contract.
 type Store struct {
-	mu      sync.Mutex
-	f       *os.File
-	m       map[Key][]byte
-	dropped int
-	appends int64
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	f         *os.File
+	path      string
+	head      []byte // the meta line (without newline) this open wrote/verified
+	m         map[Key][]byte
+	dropped   int
+	appends   int64
+	hits      int64
+	misses    int64
+	compacted int64
 }
 
 // storeVersion is bumped whenever the record encoding changes,
@@ -89,7 +93,7 @@ func OpenStore(path string, meta []byte) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
-	s := &Store{f: f, m: make(map[Key][]byte)}
+	s := &Store{f: f, path: path, head: head, m: make(map[Key][]byte)}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	first := true
@@ -230,6 +234,89 @@ func (s *Store) Len() int {
 	return len(s.m)
 }
 
+// Compact rewrites the store file to exactly its live content: the
+// meta line binding it to its producer followed by one record per
+// resident key (in sorted key order, so equal stores compact to equal
+// bytes), dropping the dead weight an append-only file accumulates —
+// torn or corrupted lines from kills mid-write, and duplicate records
+// interleaved by concurrent writers. The rewrite goes to a temp file
+// in the same directory, is fsynced, and atomically renamed over the
+// original; a crash mid-compaction therefore leaves either the old or
+// the new file, never a mix. Reopening (or continuing to use) a
+// compacted store yields byte-identical results to the uncompacted
+// one — compaction reclaims bytes, never state. Safe on a nil receiver
+// (no-op).
+//
+// Compact requires exclusive access to the store file: another live
+// process holding the same path open keeps its handle on the unlinked
+// pre-compaction inode after the rename, so everything it appends
+// afterwards is silently lost on its close (costing those jobs a
+// re-execution on the next resume, never correctness). Concurrent
+// appenders are an OpenStore-level capability only; compact from a
+// single owner, as cmd/campaign's compact subcommand does.
+func (s *Store) Compact() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]Key, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i][:], keys[j][:]) < 0 })
+
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(tmp)
+	w.Write(append(s.head, '\n'))
+	for _, k := range keys {
+		line, err := json.Marshal(storeRecord{K: hex.EncodeToString(k[:]), V: json.RawMessage(s.m[k]), H: recordHash(k, s.m[k])})
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		w.Write(append(line, '\n'))
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	// Swap the append handle onto the new file; the old handle points
+	// at the unlinked original and is closed either way.
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted file is in place but unappendable; keep the old
+		// handle so the store stays usable (its appends land in the
+		// unlinked file and are lost on close — the caller sees the
+		// error and can reopen).
+		return err
+	}
+	s.f.Close()
+	s.f = f
+	s.dropped = 0
+	s.compacted++
+	return nil
+}
+
 // Close syncs and closes the backing file. Safe on a nil receiver.
 func (s *Store) Close() error {
 	if s == nil {
@@ -252,8 +339,11 @@ type StoreStats struct {
 	Hits, Misses int64
 	// Appends counts records written since open.
 	Appends int64
-	// Dropped counts torn or corrupted lines skipped at open.
+	// Dropped counts torn or corrupted lines skipped at open (reset to
+	// zero by Compact, which removes them from the file).
 	Dropped int
+	// Compactions counts Compact calls since open.
+	Compactions int64
 }
 
 // Stats snapshots the counters. Safe on a nil receiver (all zero).
@@ -264,10 +354,11 @@ func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return StoreStats{
-		Entries: len(s.m),
-		Hits:    s.hits,
-		Misses:  s.misses,
-		Appends: s.appends,
-		Dropped: s.dropped,
+		Entries:     len(s.m),
+		Hits:        s.hits,
+		Misses:      s.misses,
+		Appends:     s.appends,
+		Dropped:     s.dropped,
+		Compactions: s.compacted,
 	}
 }

@@ -3,6 +3,13 @@
 // n independent jobs identified by index, executed by a fixed number of
 // workers pulling from an atomic counter. Callers own determinism —
 // each job must write only to state keyed by its own index.
+//
+// Two execution modes share that contract: Run/RunContext spin a
+// per-call pool (workers live for one batch), while Shared (shared.go)
+// is a long-lived pool any number of concurrent submitters share with
+// round-robin fair admission — the execution layer behind the root
+// package's Engine. Do bridges the two: batch layers thread an
+// optional *Shared and fall back to the per-call pool when it is nil.
 package pool
 
 import (

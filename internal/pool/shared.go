@@ -1,0 +1,280 @@
+package pool
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Shared is the long-lived counterpart of Run: a fixed set of worker
+// goroutines serving any number of concurrent submitters. Where every
+// Run call spins its own workers — so N concurrent batches oversubscribe
+// the machine with N×GOMAXPROCS goroutines — a Shared pool admits all of
+// them onto one bounded worker set, interleaving their jobs round-robin
+// so no submitter starves and the total number of running jobs never
+// exceeds the pool width.
+//
+// Admission is fair at job granularity: active submissions queue in a
+// ring, and each worker takes one index from the head submission before
+// it is re-queued at the tail, so M concurrent submissions each see
+// roughly workers/M of the pool. A submission may additionally bound its
+// own in-flight jobs (the per-call Parallelism knob): a submission at
+// its limit parks until one of its jobs completes. Two deliberate
+// exceptions run on the caller instead of the workers — submissions
+// whose effective limit is 1 (sequential calls must stay free of pool
+// overhead, the historical "Parallelism: 1 costs nothing" contract,
+// which also covers n == 1) and re-entrant submissions from a worker
+// (below) — so the precise bound is: pool-width jobs on the workers,
+// plus any callers running those degenerate submissions inline.
+//
+// Re-entrancy is safe but not shared: a RunContext issued from one of
+// the pool's own workers (a job, or a callback a job invokes, that
+// submits again) is detected and executed on a private per-call pool
+// instead — blocking a worker on work only that worker could run would
+// deadlock. Such nested fan-outs therefore run with the pre-Shared
+// per-call semantics rather than the pool's admission.
+type Shared struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // workers wait here for queued work
+	queue   []*submission
+	gids    map[int64]struct{} // goroutine ids of this pool's workers
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
+}
+
+// submission is one RunContext call in flight on a Shared pool.
+type submission struct {
+	ctx      context.Context
+	fn       func(int)
+	n        int
+	limit    int
+	next     int // next index to dispatch
+	inflight int
+	stopped  bool // ctx cancelled or a job panicked: dispatch no more
+	queued   bool // currently in the ring
+	panicked bool
+	panicVal any
+	done     chan struct{}
+}
+
+// hasWork reports whether the submission still has indices to dispatch.
+// Caller holds the pool mutex.
+func (s *submission) hasWork() bool { return !s.stopped && s.next < s.n }
+
+// settled reports whether the submission is finished: nothing running
+// and nothing left to dispatch. Caller holds the pool mutex.
+func (s *submission) settled() bool { return s.inflight == 0 && !s.hasWork() }
+
+// NewShared builds a pool of `workers` long-lived goroutines
+// (workers <= 0 selects runtime.GOMAXPROCS(0)). Close releases them.
+func NewShared(workers int) *Shared {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Shared{workers: workers, gids: make(map[int64]struct{}, workers)}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// goroutineID parses the current goroutine's id from its stack header
+// ("goroutine N [running]: ..."). One runtime.Stack of depth zero per
+// RunContext call — microseconds, paid once per submission, never per
+// job.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	head := bytes.TrimPrefix(buf[:n], []byte("goroutine "))
+	if i := bytes.IndexByte(head, ' '); i > 0 {
+		if id, err := strconv.ParseInt(string(head[:i]), 10, 64); err == nil {
+			return id
+		}
+	}
+	return -1
+}
+
+// Workers returns the pool width.
+func (s *Shared) Workers() int { return s.workers }
+
+// Close stops the workers after their current jobs and waits for them
+// to exit. Submissions still in flight are completed first; RunContext
+// after Close panics. Close is idempotent.
+func (s *Shared) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// RunContext evaluates fn(i) for every i in [0, n) on the shared
+// workers, with at most limit jobs of this call in flight at once
+// (limit <= 0 means the pool width), and blocks until every dispatched
+// job has finished. The contract matches the per-call RunContext: a
+// limit of 1 degenerates to a plain sequential loop on the calling
+// goroutine; once ctx is done no further indices are dispatched and the
+// in-flight jobs are awaited (indices never dispatched are simply not
+// called); a panicking job stops dispatch and the panic is re-raised
+// here with its original value. Any number of goroutines may call
+// RunContext concurrently — that is the point. A call issued from one
+// of this pool's own workers runs on a private per-call pool instead
+// (see the re-entrancy note on Shared).
+func (s *Shared) RunContext(ctx context.Context, limit, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if limit <= 0 || limit > s.workers {
+		limit = s.workers
+	}
+	if limit > n {
+		limit = n
+	}
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return
+	}
+	gid := goroutineID()
+	s.mu.Lock()
+	_, reentrant := s.gids[gid]
+	s.mu.Unlock()
+	if reentrant {
+		// Submitted from one of our own workers: enqueuing would block
+		// a worker on work only workers can run — a full pool of such
+		// jobs deadlocks. Fall back to a per-call pool, the pre-Shared
+		// behaviour for nested fan-out.
+		RunContext(ctx, limit, n, fn)
+		return
+	}
+	sub := &submission{ctx: ctx, fn: fn, n: n, limit: limit, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("pool: RunContext on a closed Shared pool")
+	}
+	sub.queued = true
+	s.queue = append(s.queue, sub)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-sub.done
+	if sub.panicked {
+		panic(sub.panicVal)
+	}
+}
+
+// worker is the loop every pool goroutine runs: take one (submission,
+// index) pair, execute it, repeat; sleep when the ring is empty.
+func (s *Shared) worker() {
+	defer s.wg.Done()
+	gid := goroutineID()
+	s.mu.Lock()
+	s.gids[gid] = struct{}{}
+	for {
+		sub, idx, ok := s.take()
+		if !ok {
+			if s.closed {
+				// Goroutine ids are recycled by the runtime; drop ours
+				// so a future goroutine reusing it is not misread as a
+				// worker.
+				delete(s.gids, gid)
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			continue
+		}
+		s.mu.Unlock()
+		s.exec(sub, idx)
+		s.mu.Lock()
+	}
+}
+
+// take pops ring entries until it finds a submission with dispatchable
+// work, claims one index from it, and re-queues it at the tail when it
+// may have more. Submissions at their in-flight limit are parked
+// (dropped from the ring; job completion re-queues them), exhausted or
+// stopped ones are dropped for good. Caller holds the pool mutex.
+func (s *Shared) take() (*submission, int, bool) {
+	for len(s.queue) > 0 {
+		sub := s.queue[0]
+		s.queue = s.queue[1:]
+		sub.queued = false
+		if !sub.hasWork() || sub.inflight >= sub.limit {
+			continue
+		}
+		idx := sub.next
+		sub.next++
+		sub.inflight++
+		if sub.hasWork() && sub.inflight < sub.limit {
+			sub.queued = true
+			s.queue = append(s.queue, sub)
+		}
+		return sub, idx, true
+	}
+	return nil, 0, false
+}
+
+// exec runs one job and settles its bookkeeping: panics latch the
+// submission stopped (first value kept for the submitter to re-raise),
+// cancellation latches it stopped, the last job signals the submitter,
+// and a still-live submission parked at its limit is re-queued.
+func (s *Shared) exec(sub *submission, idx int) {
+	defer func() {
+		r := recover()
+		s.mu.Lock()
+		sub.inflight--
+		if r != nil {
+			sub.stopped = true
+			if !sub.panicked {
+				sub.panicked = true
+				sub.panicVal = r
+			}
+		}
+		if sub.ctx != nil && sub.ctx.Err() != nil {
+			sub.stopped = true
+		}
+		switch {
+		case sub.settled():
+			close(sub.done)
+		case sub.hasWork() && !sub.queued:
+			sub.queued = true
+			s.queue = append(s.queue, sub)
+			s.cond.Signal()
+		}
+		s.mu.Unlock()
+	}()
+	if sub.ctx != nil && sub.ctx.Err() != nil {
+		return
+	}
+	sub.fn(idx)
+}
+
+// Do evaluates fn(i) for every i in [0, n): on the shared pool p when
+// one is provided (workers then bounds this call's in-flight jobs), or
+// on a per-call pool of `workers` goroutines otherwise. It is the
+// bridge every batch layer threads its optional pool handle through —
+// a nil *Shared keeps the historical per-call behaviour.
+func Do(ctx context.Context, p *Shared, workers, n int, fn func(i int)) {
+	if p != nil {
+		p.RunContext(ctx, workers, n, fn)
+		return
+	}
+	RunContext(ctx, workers, n, fn)
+}

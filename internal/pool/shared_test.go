@@ -1,0 +1,222 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// maxTracker records the high-water mark of a concurrent counter.
+type maxTracker struct {
+	cur atomic.Int64
+	max atomic.Int64
+}
+
+func (t *maxTracker) enter() {
+	c := t.cur.Add(1)
+	for {
+		m := t.max.Load()
+		if c <= m || t.max.CompareAndSwap(m, c) {
+			return
+		}
+	}
+}
+
+func (t *maxTracker) exit() { t.cur.Add(-1) }
+
+func TestSharedRunsEveryIndexOnce(t *testing.T) {
+	s := NewShared(4)
+	defer s.Close()
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	s.RunContext(nil, 0, n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestSharedBoundsConcurrencyAcrossSubmitters(t *testing.T) {
+	const workers, submitters, jobs = 3, 8, 64
+	s := NewShared(workers)
+	defer s.Close()
+	var running maxTracker
+	var wg sync.WaitGroup
+	for k := 0; k < submitters; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.RunContext(nil, 0, jobs, func(int) {
+				running.enter()
+				defer running.exit()
+				spin()
+			})
+		}()
+	}
+	wg.Wait()
+	if got := running.max.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, pool width %d", got, workers)
+	}
+}
+
+func TestSharedHonorsPerSubmissionLimit(t *testing.T) {
+	s := NewShared(8)
+	defer s.Close()
+	var running maxTracker
+	s.RunContext(nil, 2, 64, func(int) {
+		running.enter()
+		defer running.exit()
+		spin()
+	})
+	if got := running.max.Load(); got > 2 {
+		t.Fatalf("observed %d concurrent jobs, submission limit 2", got)
+	}
+}
+
+func TestSharedLimitOneRunsInline(t *testing.T) {
+	s := NewShared(4)
+	defer s.Close()
+	order := make([]int, 0, 10)
+	s.RunContext(nil, 1, 10, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order violated at %d: got %d", i, got)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("ran %d of 10 jobs", len(order))
+	}
+}
+
+func TestSharedPropagatesPanicToItsSubmitter(t *testing.T) {
+	s := NewShared(4)
+	defer s.Close()
+	// A healthy submission alongside the panicking one must complete
+	// untouched.
+	var okDone atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.RunContext(nil, 0, 100, func(int) { okDone.Add(1); spin() })
+	}()
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Errorf("recovered %v, want boom", r)
+			}
+		}()
+		s.RunContext(nil, 0, 100, func(i int) {
+			if i == 7 {
+				panic("boom")
+			}
+			spin()
+		})
+	}()
+	wg.Wait()
+	if got := okDone.Load(); got != 100 {
+		t.Fatalf("healthy submission ran %d of 100 jobs", got)
+	}
+}
+
+func TestSharedStopsDispatchOnCancel(t *testing.T) {
+	s := NewShared(2)
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	s.RunContext(ctx, 0, 1000, func(i int) {
+		if ran.Add(1) == 4 {
+			cancel()
+		}
+	})
+	// In-flight jobs may finish after the cancel, but dispatch stops:
+	// nowhere near the full 1000 run.
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch (ran %d)", got)
+	}
+	// A pre-cancelled context runs nothing.
+	ran.Store(0)
+	s.RunContext(ctx, 0, 100, func(int) { ran.Add(1) })
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("pre-cancelled submission ran %d jobs", got)
+	}
+}
+
+func TestSharedInterleavesConcurrentSubmitters(t *testing.T) {
+	// With one worker, two submissions must still both finish: the
+	// round-robin ring alternates their jobs instead of running the
+	// first to completion while the second starves behind a lost
+	// wakeup.
+	s := NewShared(1)
+	defer s.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int32
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.RunContext(nil, 2, 50, func(int) { total.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 100 {
+		t.Fatalf("ran %d of 100 jobs", got)
+	}
+}
+
+func TestSharedReentrantSubmissionDoesNotDeadlock(t *testing.T) {
+	// A job (or a callback it invokes) that submits back to the pool it
+	// runs on must not block a worker on work only workers can run. The
+	// pool detects the re-entrant call and runs it on a private
+	// per-call pool; with every worker inside such a job this would
+	// deadlock otherwise. (Width 2 keeps the outer submission on the
+	// workers — width 1 would degenerate it to the inline path.)
+	s := NewShared(2)
+	defer s.Close()
+	var inner atomic.Int32
+	s.RunContext(nil, 0, 4, func(int) {
+		s.RunContext(nil, 2, 8, func(int) { inner.Add(1) })
+	})
+	if got := inner.Load(); got != 32 {
+		t.Fatalf("nested submissions ran %d of 32 jobs", got)
+	}
+}
+
+func TestSharedCloseIsIdempotentAndRejectsNewWork(t *testing.T) {
+	s := NewShared(2)
+	s.RunContext(nil, 0, 10, func(int) {})
+	s.Close()
+	s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunContext on a closed pool did not panic")
+		}
+	}()
+	s.RunContext(nil, 0, 4, func(int) {})
+}
+
+func TestDoFallsBackToPerCallPool(t *testing.T) {
+	var ran atomic.Int32
+	Do(nil, nil, 2, 10, func(int) { ran.Add(1) })
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("per-call fallback ran %d of 10", got)
+	}
+	s := NewShared(2)
+	defer s.Close()
+	ran.Store(0)
+	Do(nil, s, 2, 10, func(int) { ran.Add(1) })
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("shared path ran %d of 10", got)
+	}
+}
+
+// spin burns a little CPU so concurrent jobs overlap observably.
+func spin() {
+	x := 0
+	for i := 0; i < 2000; i++ {
+		x += i
+	}
+	_ = x
+}

@@ -17,12 +17,19 @@ import (
 // BatchOptions tunes SimulateBatch.
 type BatchOptions struct {
 	// Parallelism bounds the worker pool. 0 means
-	// runtime.GOMAXPROCS(0); 1 forces sequential evaluation.
+	// runtime.GOMAXPROCS(0); 1 forces sequential evaluation. With Pool
+	// set it instead bounds this batch's in-flight jobs on the shared
+	// pool (0 means the pool width).
 	Parallelism int
 	// Context cancels the batch early; nil means context.Background().
 	// Runs not yet started when the context is done are returned with
 	// Skipped set; in-flight simulations complete.
 	Context context.Context
+	// Pool, when non-nil, runs the batch on a shared long-lived worker
+	// pool instead of spinning a per-call one, so concurrent batches
+	// share one bounded worker set (fair round-robin admission).
+	// Results are byte-identical either way.
+	Pool *pool.Shared
 	// Seed is the batch base seed. Unless ConfigSeeds is set, run i
 	// simulates cfgs[i] with its Seed field replaced by
 	// Seed ⊕ FNV-1a(i) (see BatchSeed), so every run draws from an
@@ -83,7 +90,7 @@ func SimulateBatch(cfgs []Config, opts BatchOptions) []BatchResult {
 	for i := range out {
 		out[i] = BatchResult{Index: i, Skipped: true}
 	}
-	pool.RunContext(ctx, opts.Parallelism, len(cfgs), func(i int) {
+	pool.Do(ctx, opts.Pool, opts.Parallelism, len(cfgs), func(i int) {
 		if ctx.Err() != nil {
 			return
 		}

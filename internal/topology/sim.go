@@ -13,8 +13,15 @@ import (
 type SimOptions struct {
 	// Parallelism bounds the per-segment worker pool. 0 means
 	// runtime.GOMAXPROCS(0); 1 forces sequential evaluation. Results
-	// are byte-identical for any value.
+	// are byte-identical for any value. With Pool set it instead
+	// bounds this simulation's in-flight segment shards on the shared
+	// pool (0 means the pool width).
 	Parallelism int
+	// Pool, when non-nil, runs the per-round segment shards on a shared
+	// long-lived worker pool instead of a per-call one, so concurrent
+	// topology simulations share one bounded worker set. Results are
+	// byte-identical either way.
+	Pool *pool.Shared
 	// MaxRounds caps the bridge-exchange fixed point (default: total
 	// relay count + 2, which suffices for any valid — stream-acyclic —
 	// relay chain, whose depth is at most the relay count; mutually
@@ -211,7 +218,7 @@ func Simulate(t SimTopology, opts SimOptions) (SimResult, error) {
 			}
 			originByTarget[ri] = m
 		}
-		pool.Run(opts.Parallelism, n, func(i int) {
+		pool.Do(nil, opts.Pool, opts.Parallelism, n, func(i int) {
 			if !dirty[i] {
 				return
 			}
