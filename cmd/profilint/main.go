@@ -1,0 +1,80 @@
+// Command profilint runs the repo's static-analysis suite: five custom
+// analyzers enforcing the determinism, concurrency and context
+// invariants (detrand, mapiter, poolgo, ctxthread, seedmix) plus the
+// nilness and shadow passes. See internal/lint for what each guards
+// and the //profilint:ignore suppression contract.
+//
+// It is a go/analysis unitchecker, so it works as a vet tool:
+//
+//	go vet -vettool=$(command -v profilint) ./...
+//
+// and it is also runnable standalone on package patterns — it builds
+// nothing itself but re-execs `go vet -vettool=<self>` so the build
+// cache and package loading are go's own:
+//
+//	profilint ./...
+//	profilint -json ./...    # machine-readable findings
+//
+// Exit status is non-zero when any analyzer reports a finding.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"profirt/internal/lint"
+)
+
+func main() {
+	if vetInvocation(os.Args[1:]) {
+		unitchecker.Main(lint.Analyzers()...)
+	}
+	os.Exit(standalone(os.Args[1:]))
+}
+
+// vetInvocation reports whether we are being driven by `go vet`
+// (or invoked in unitchecker's own protocol): the driver calls the
+// tool with -V=full to fingerprint it, with -flags to enumerate
+// flags, or with a single *.cfg argument per package unit.
+func vetInvocation(args []string) bool {
+	for _, a := range args {
+		switch {
+		case strings.HasSuffix(a, ".cfg"),
+			strings.HasPrefix(a, "-V"),
+			a == "-flags":
+			return true
+		}
+	}
+	return false
+}
+
+// standalone re-runs this binary as a vet tool over the given package
+// patterns. Flags before the first pattern are forwarded to go vet
+// (-json is the useful one); everything go vet prints passes through.
+func standalone(args []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profilint: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	vetArgs := append([]string{"vet", "-vettool=" + self}, args...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if exit, ok := err.(*exec.ExitError); ok {
+			return exit.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "profilint: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVetInvocationDetection(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want bool
+	}{
+		{[]string{"/tmp/vet073/pkg.cfg"}, true},
+		{[]string{"-V=full"}, true},
+		{[]string{"-flags"}, true},
+		{[]string{"./..."}, false},
+		{[]string{"-json", "./..."}, false},
+		{[]string{}, false},
+		{[]string{"./internal/lint"}, false},
+	} {
+		if got := vetInvocation(tc.args); got != tc.want {
+			t.Errorf("vetInvocation(%q) = %v, want %v", tc.args, got, tc.want)
+		}
+	}
+}
+
+// buildProfilint compiles the checker once per test binary.
+func buildProfilint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "profilint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build profilint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// scratchModule writes a dependency-free module with one library
+// package containing the given source.
+func scratchModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "internal", "holistic")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkg, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestSeededViolationFailsLint is the acceptance gate in miniature:
+// a time.Now() seeded into a result-producing package must make the
+// vet run exit non-zero with a message naming the analyzer and the
+// invariant it guards; the clean variant must pass.
+func TestSeededViolationFailsLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go vet; skipped with -short")
+	}
+	bin := buildProfilint(t)
+
+	bad := scratchModule(t, `package holistic
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = bad
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("vet accepted a seeded time.Now() violation:\n%s", out)
+	}
+	for _, needle := range []string{"detrand", "time.Now()", "pure function of (config, seed)"} {
+		if !strings.Contains(string(out), needle) {
+			t.Errorf("finding does not mention %q:\n%s", needle, out)
+		}
+	}
+
+	good := scratchModule(t, `package holistic
+
+func Stamp(seed int64) int64 { return seed }
+`)
+	cmd = exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = good
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("vet rejected a clean package: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneReexec covers the no-driver entry point: running the
+// binary directly on package patterns must re-exec through go vet and
+// propagate the failing exit.
+func TestStandaloneReexec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go vet; skipped with -short")
+	}
+	bin := buildProfilint(t)
+	dir := scratchModule(t, `package holistic
+
+func Spawn(f func()) { go f() }
+`)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("standalone run accepted a raw go statement:\n%s", out)
+	}
+	if !strings.Contains(string(out), "poolgo") {
+		t.Errorf("finding does not name the poolgo analyzer:\n%s", out)
+	}
+}

@@ -120,6 +120,26 @@
 // existing code keeps compiling and even legacy callers now share one
 // bounded pool.
 //
+// # Static analysis
+//
+// The invariants above — determinism at any parallelism, bounded
+// concurrency, context threading — are enforced statically by the
+// repo's own go/analysis suite (internal/lint, built into
+// cmd/profilint, run by `make lint` and CI): detrand forbids
+// time.Now() and unseeded global math/rand draws in result-producing
+// packages, so results stay a pure function of (config, seed); mapiter
+// forbids map-iteration-order-dependent output (unsorted appends,
+// writes to output/hash sinks, early returns of iteration-dependent
+// values inside a map range); poolgo confines raw go statements to
+// internal/pool, keeping all concurrency on the bounded pool; ctxthread
+// requires functions receiving a context.Context to thread it, pinning
+// Background()/TODO()/nil contexts to mains, tests and the documented
+// nil-ctx default sites; seedmix requires per-job seeds to derive
+// through the FNV mix helpers rather than ad-hoc arithmetic. Findings
+// are suppressed site-by-site with `//profilint:ignore <analyzer>
+// <reason>`, and a missing reason is itself an error. See the README's
+// "Static analysis" section and CONTRIBUTING.md.
+//
 // This root package is a facade: it re-exports the library's primary
 // types and entry points so downstream users need a single import. The
 // implementation lives in internal packages (one per subsystem); the

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// CtxThread enforces context threading: a function that receives a
+// context.Context must hand it on, not fabricate a fresh root. Two
+// rules, checked in result-producing packages:
+//
+//  1. context.Background() / context.TODO() may appear only in main
+//     packages, tests, and the documented nil-ctx default idiom
+//     `if ctx == nil { ctx = context.Background() }` (the API contract
+//     for exported entry points that accept a nil context).
+//  2. Inside a function whose signature includes a context.Context, a
+//     call must not pass nil, context.Background() or context.TODO()
+//     where the callee accepts a context — that severs cancellation
+//     and deadlines from the caller's request.
+var CtxThread = suppressGated(&analysis.Analyzer{
+	Name:     "ctxthread",
+	Doc:      "require received contexts to be threaded to callees; confine Background/TODO to mains, tests and nil-ctx defaults (cancellation invariant)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runCtxThread,
+})
+
+const ctxthreadInvariant = "cancellation and deadlines flow from the caller; a fresh root context severs them"
+
+func runCtxThread(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		if testFile(pass, call.Pos()) {
+			return true
+		}
+		if rootCtxCall(pass, call) != "" {
+			if !nilCtxDefault(stack) {
+				pass.Reportf(call.Pos(), "%s", invariantf("ctxthread",
+					ctxthreadInvariant, "context.%s() outside main/tests/nil-ctx defaults; thread the caller's context instead", rootCtxCall(pass, call)))
+			}
+			return true
+		}
+		checkCtxArgs(pass, call, stack)
+		return true
+	})
+	return nil, nil
+}
+
+// rootCtxCall returns "Background" or "TODO" when call is
+// context.Background() or context.TODO(), else "".
+func rootCtxCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	for _, name := range []string{"Background", "TODO"} {
+		if pkgFunc(pass, call, "context", name) {
+			return name
+		}
+	}
+	return ""
+}
+
+// nilCtxDefault recognises the one sanctioned shape for a fresh root
+// context in library code — defaulting a nil context at an API
+// boundary:
+//
+//	if ctx == nil {
+//		ctx = context.Background()
+//	}
+//
+// stack is the WithStack traversal stack ending at the Background/TODO
+// call; the shape requires the call to be the sole RHS of an
+// assignment to ctx directly inside an if whose condition is
+// `ctx == nil` (either operand order) for the same variable.
+func nilCtxDefault(stack []ast.Node) bool {
+	// stack ends: ..., IfStmt, BlockStmt, AssignStmt, CallExpr.
+	if len(stack) < 4 {
+		return false
+	}
+	assign, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ifStmt, ok := stack[len(stack)-4].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op.String() != "==" {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	named := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == lhs.Name
+	}
+	return (isNil(cond.X) && named(cond.Y)) || (isNil(cond.Y) && named(cond.X))
+}
+
+// checkCtxArgs flags nil / Background() / TODO() passed in a
+// context-typed parameter position while the enclosing function has a
+// context parameter it should be threading.
+func checkCtxArgs(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	if !enclosingFuncHasCtx(pass, stack) {
+		return
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() && !sig.Variadic() {
+			break
+		}
+		pi := i
+		if pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		if !isContextType(sig.Params().At(pi).Type()) {
+			continue
+		}
+		// A Background()/TODO() argument is already flagged by the
+		// rootCtxCall check when its own CallExpr node is visited, so
+		// only the nil-literal case needs reporting here.
+		if id, isIdent := ast.Unparen(arg).(*ast.Ident); isIdent && id.Name == "nil" && pass.TypesInfo.Types[arg].IsNil() {
+			pass.Reportf(arg.Pos(), "%s", invariantf("ctxthread",
+				ctxthreadInvariant, "nil context passed to a callee while a context.Context is in scope; thread it"))
+		}
+	}
+}
+
+// enclosingFuncHasCtx reports whether the innermost enclosing function
+// declaration or literal takes a context.Context parameter.
+func enclosingFuncHasCtx(pass *analysis.Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			continue
+		}
+		for _, field := range ft.Params.List {
+			if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// DetRand flags wall-clock reads and unseeded global math/rand draws
+// in result-producing packages. Both make output depend on when or in
+// what order code ran, which breaks the repo's core contract: tables
+// are byte-identical at any parallelism, cache state, or resume point.
+var DetRand = suppressGated(&analysis.Analyzer{
+	Name:     "detrand",
+	Doc:      "forbid time.Now() and unseeded global math/rand in result-producing packages (determinism invariant)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDetRand,
+})
+
+const detrandInvariant = "results must be a pure function of (config, seed), never of wall-clock or process-global RNG state"
+
+// globalRandConstructors are the math/rand package-level functions that
+// are fine to call: they build explicitly seeded generators rather than
+// drawing from the shared global source.
+var globalRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDetRand(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if testFile(pass, call.Pos()) {
+			return
+		}
+		if pkgFunc(pass, call, "time", "Now") {
+			pass.Reportf(call.Pos(), "%s", invariantf("detrand",
+				detrandInvariant, "time.Now() in result-producing package %s", pass.Pkg.Path()))
+			return
+		}
+		for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || globalRandConstructors[sel.Sel.Name] {
+				continue
+			}
+			if pkgFunc(pass, call, randPkg, sel.Sel.Name) {
+				pass.Reportf(call.Pos(), "%s", invariantf("detrand",
+					detrandInvariant, "%s.%s draws from the unseeded process-global RNG; derive a *rand.Rand from the job's seed instead", randPkg, sel.Sel.Name))
+				return
+			}
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,212 @@
+// Package lint hosts profilint, a go/analysis suite that statically
+// enforces this repository's determinism, concurrency and context
+// invariants. Every PR so far stakes correctness on one contract —
+// results are byte-identical at any parallelism, any cache state, and
+// across kill/resume — but until now that contract was enforced only
+// dynamically, by equivalence property tests that can miss a
+// nondeterminism bug until a rare interleaving hits. The analyzers
+// here catch the whole bug class at `make ci` time instead:
+//
+//   - detrand: no time.Now() and no unseeded global math/rand draws in
+//     result-producing packages (the root package and internal/*).
+//   - mapiter: no map iteration whose order leaks into output — a
+//     range over a map that appends to an outer slice without a later
+//     sort, or that writes/hashes inside the body.
+//   - poolgo: no raw `go` statements outside internal/pool; all
+//     concurrency must ride the shared bounded pool.
+//   - ctxthread: a function that receives a context.Context must not
+//     drop it (passing nil or context.Background()/TODO() to a callee
+//     that accepts one); Background/TODO are confined to main
+//     packages, tests and the documented nil-ctx default sites.
+//   - seedmix: per-job/per-trial seeds must be derived through the
+//     FNV mix helpers, never ad-hoc arithmetic like seed+int64(i)
+//     that collides across shards.
+//
+// Plus re-implementations of the upstream nilness and shadow passes
+// (see nilness.go and shadow.go for the exact subset they cover).
+//
+// # Suppression
+//
+// A finding is suppressed by a comment on the flagged line or the
+// line directly above it:
+//
+//	//profilint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: an ignore comment naming an analyzer with
+// no reason is itself reported as an error, so the tree can never
+// accumulate unexplained suppressions.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full profilint suite in a stable order: the
+// five house-rule analyzers plus the nilness and shadow passes, each
+// wrapped with //profilint:ignore suppression handling.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DetRand,
+		MapIter,
+		PoolGo,
+		CtxThread,
+		SeedMix,
+		Nilness,
+		Shadow,
+	}
+}
+
+// ignoreDirective is the comment prefix that suppresses a finding.
+const ignoreDirective = "//profilint:ignore"
+
+// resultPackage reports whether pass checks a result-producing
+// package: the module root package or anything under internal/.
+// Command binaries (cmd/, any package main) and examples/ are exempt —
+// they may time wall-clock runs or print progress; only code that
+// feeds result tables must be bit-deterministic.
+func resultPackage(pass *analysis.Pass) bool {
+	if pass.Pkg.Name() == "main" {
+		return false
+	}
+	path := pass.Pkg.Path()
+	for _, exempt := range []string{"/cmd/", "/examples/", "/vendor/"} {
+		if strings.Contains(path, exempt) {
+			return false
+		}
+	}
+	return !strings.HasPrefix(path, "cmd/") && !strings.HasPrefix(path, "examples/")
+}
+
+// testFile reports whether pos lies in a _test.go file. Tests are
+// exempt from the house rules: they may time themselves, spawn bare
+// goroutines to provoke races, and construct contexts freely.
+func testFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// suppress wraps an analyzer's Run so that diagnostics covered by a
+// well-formed //profilint:ignore comment are dropped, and ignore
+// comments that name this analyzer without a reason are reported as
+// errors in their own right. Analyzers whose rules apply only to
+// result-producing packages wrap with suppressGated instead, which
+// additionally skips exempt packages entirely (including the
+// malformed-ignore check: a directive in an exempt package is inert,
+// not wrong).
+func suppress(a *analysis.Analyzer) *analysis.Analyzer {
+	return suppressWith(a, func(*analysis.Pass) bool { return true })
+}
+
+func suppressGated(a *analysis.Analyzer) *analysis.Analyzer {
+	return suppressWith(a, resultPackage)
+}
+
+func suppressWith(a *analysis.Analyzer, gate func(*analysis.Pass) bool) *analysis.Analyzer {
+	run := a.Run
+	a.Run = func(pass *analysis.Pass) (interface{}, error) {
+		if !gate(pass) {
+			return nil, nil
+		}
+		ignored, malformed := collectIgnores(pass, a.Name)
+		for _, pos := range malformed {
+			pass.Reportf(pos, "%s: //profilint:ignore needs a non-empty reason (\"//profilint:ignore %s <why this site is safe>\")", a.Name, a.Name)
+		}
+		buffered := *pass
+		var diags []analysis.Diagnostic
+		buffered.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		result, err := run(&buffered)
+		for _, d := range diags {
+			line := pass.Fset.Position(d.Pos).Line
+			file := pass.Fset.Position(d.Pos).Filename
+			if ignored[fileLine{file, line}] {
+				continue
+			}
+			pass.Report(d)
+		}
+		return result, err
+	}
+	return a
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// collectIgnores scans every file's comments for //profilint:ignore
+// directives naming analyzer. A well-formed directive (analyzer name
+// plus a non-empty reason) suppresses findings on its own line and the
+// line below it; a directive naming the analyzer with no reason is
+// returned as malformed.
+func collectIgnores(pass *analysis.Pass, analyzer string) (map[fileLine]bool, []token.Pos) {
+	ignored := make(map[fileLine]bool)
+	var malformed []token.Pos
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Both comment forms carry the directive: the usual
+				// //profilint:ignore and /*profilint:ignore*/ for
+				// sites that need trailing commentary on the line.
+				text := c.Text
+				if inner, ok := strings.CutPrefix(text, "/*"); ok {
+					text = "//" + strings.TrimSpace(strings.TrimSuffix(inner, "*/"))
+				}
+				rest, ok := strings.CutPrefix(text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || fields[0] != analyzer {
+					continue
+				}
+				if len(fields) < 2 {
+					malformed = append(malformed, c.Pos())
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				ignored[fileLine{p.Filename, p.Line}] = true
+				ignored[fileLine{p.Filename, p.Line + 1}] = true
+			}
+		}
+	}
+	return ignored, malformed
+}
+
+// pkgFunc reports whether call invokes the package-level function
+// pkgPath.name (not a method, not a local shadow of the package name).
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Parent() == obj.Pkg().Scope()
+}
+
+// enclosingFuncBody returns the body of the innermost function literal
+// or declaration in stack (a WithStack traversal stack), or nil.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// invariantf formats a diagnostic message that names the analyzer and
+// the invariant it guards, so a CI failure reads as a rule, not a
+// style nit.
+func invariantf(analyzer, invariant, format string, args ...interface{}) string {
+	return fmt.Sprintf("%s: %s [%s]", analyzer, fmt.Sprintf(format, args...), invariant)
+}

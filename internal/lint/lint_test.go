@@ -1,0 +1,116 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"profirt/internal/lint"
+	"profirt/internal/lint/linttest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// checkedPath is the synthetic import path under which fixtures count
+// as result-producing code; the cmd and examples variants exercise the
+// exemptions.
+const (
+	checkedPath  = "profirt/internal/fixture"
+	cmdPath      = "profirt/cmd/fixture"
+	examplesPath = "profirt/examples/fixture"
+)
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, lint.DetRand, fixture("detrand"), checkedPath)
+}
+
+func TestDetRandExemptions(t *testing.T) {
+	// The same violating fixture stays silent under cmd/ and
+	// examples/ paths: binaries may time wall-clock runs.
+	linttest.RunExpectNone(t, lint.DetRand, fixture("detrand"), cmdPath)
+	linttest.RunExpectNone(t, lint.DetRand, fixture("detrand"), examplesPath)
+}
+
+func TestMapIter(t *testing.T) {
+	linttest.Run(t, lint.MapIter, fixture("mapiter"), checkedPath)
+}
+
+func TestMapIterExemptions(t *testing.T) {
+	linttest.RunExpectNone(t, lint.MapIter, fixture("mapiter"), cmdPath)
+}
+
+func TestPoolGo(t *testing.T) {
+	linttest.Run(t, lint.PoolGo, fixture("poolgo"), checkedPath)
+}
+
+func TestPoolGoExemptions(t *testing.T) {
+	// internal/pool itself owns goroutine creation; cmd/ binaries are
+	// outside the result-producing tree.
+	linttest.RunExpectNone(t, lint.PoolGo, fixture("poolgo"), "profirt/internal/pool")
+	linttest.RunExpectNone(t, lint.PoolGo, fixture("poolgo"), cmdPath)
+}
+
+func TestCtxThread(t *testing.T) {
+	linttest.Run(t, lint.CtxThread, fixture("ctxthread"), checkedPath)
+}
+
+func TestCtxThreadExemptions(t *testing.T) {
+	linttest.RunExpectNone(t, lint.CtxThread, fixture("ctxthread"), cmdPath)
+}
+
+func TestSeedMix(t *testing.T) {
+	linttest.Run(t, lint.SeedMix, fixture("seedmix"), checkedPath)
+}
+
+func TestSeedMixExemptions(t *testing.T) {
+	linttest.RunExpectNone(t, lint.SeedMix, fixture("seedmix"), examplesPath)
+}
+
+func TestNilness(t *testing.T) {
+	linttest.Run(t, lint.Nilness, fixture("nilness"), checkedPath)
+}
+
+func TestShadow(t *testing.T) {
+	linttest.Run(t, lint.Shadow, fixture("shadow"), checkedPath)
+}
+
+// TestSuppressionRequiresReason pins the ignore contract end to end:
+// a reasoned suppression silences the finding, a bare one is itself
+// an error while the finding still fires (see the detrand fixture's
+// suppressed/badSuppression pair, asserted via want comments), and
+// the malformed-suppression diagnostic names the analyzer.
+func TestSuppressionRequiresReason(t *testing.T) {
+	diags := linttest.Run(t, lint.DetRand, fixture("detrand"), checkedPath)
+	var sawMalformed bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "needs a non-empty reason") {
+			sawMalformed = true
+			if !strings.Contains(d.Message, "detrand") {
+				t.Errorf("malformed-suppression diagnostic does not name the analyzer: %s", d.Message)
+			}
+		}
+	}
+	if !sawMalformed {
+		t.Error("no diagnostic for the reason-less //profilint:ignore")
+	}
+}
+
+// TestAnalyzersRegistered guards the suite wiring: all five house
+// analyzers plus nilness and shadow reach the multichecker.
+func TestAnalyzersRegistered(t *testing.T) {
+	want := []string{"detrand", "mapiter", "poolgo", "ctxthread", "seedmix", "nilness", "shadow"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package linttest is a self-contained analogue of
+// golang.org/x/tools/go/analysis/analysistest, sized to this repo's
+// needs: the container vendors only the vet subset of x/tools (no
+// go/packages, on which analysistest depends), so fixtures here are
+// loaded with go/parser and type-checked with the stdlib source
+// importer instead.
+//
+// Fixture packages live under testdata and use analysistest's comment
+// convention: a line expecting a diagnostic carries
+//
+//	// want "regexp"
+//
+// (several quoted regexps may follow one want). Run loads every .go
+// file in dir as one package, runs the analyzer (with its Requires
+// chain), and fails the test on any unmatched diagnostic or
+// unsatisfied want.
+//
+// Unlike analysistest, Run takes the package import path explicitly:
+// the profilint analyzers gate on the package path (cmd/ and
+// examples/ are exempt, internal/pool may spawn goroutines), so tests
+// exercise those exemptions by loading one fixture directory under
+// several synthetic paths.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the fixture package in dir under the import path pkgPath,
+// applies a, and checks diagnostics against // want comments.
+// It returns the diagnostics for callers that assert on more than
+// placement.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) []analysis.Diagnostic {
+	t.Helper()
+	diags, fset, files := run(t, a, dir, pkgPath)
+	checkWants(t, fset, files, diags)
+	return diags
+}
+
+// RunExpectNone loads the fixture like Run but asserts the analyzer
+// stays silent, ignoring any // want comments in the files. It is how
+// the exemption rules are tested: the same violating fixture that
+// produces findings under an internal/ package path must produce none
+// when loaded as a cmd/ or examples/ package.
+func RunExpectNone(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	diags, fset, _ := run(t, a, dir, pkgPath)
+	for _, d := range diags {
+		t.Errorf("%s: unexpected diagnostic under exempt path %s: %s",
+			relPos(fset.Position(d.Pos)), pkgPath, d.Message)
+	}
+}
+
+func run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("linttest: no .go files in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {}, // fixtures may hold deliberate junk around the interesting lines
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("linttest: type-check %s: %v", dir, err)
+	}
+	var diags []analysis.Diagnostic
+	runAnalyzer(t, a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	}, make(map[*analysis.Analyzer]interface{}))
+	return diags, fset, files
+}
+
+// runAnalyzer executes a's Requires chain depth-first, memoising
+// results, then a itself, reporting through report.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, report func(analysis.Diagnostic),
+	results map[*analysis.Analyzer]interface{}) interface{} {
+	t.Helper()
+	if res, done := results[a]; done {
+		return res
+	}
+	resultOf := make(map[*analysis.Analyzer]interface{})
+	for _, dep := range a.Requires {
+		// Dependencies report nothing: analysistest semantics.
+		resultOf[dep] = runAnalyzer(t, dep, fset, files, pkg, info, func(analysis.Diagnostic) {}, results)
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report:     report,
+		ReadFile:   os.ReadFile,
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		t.Fatalf("linttest: analyzer %s: %v", a.Name, err)
+	}
+	results[a] = res
+	return res
+}
+
+// Patterns may be double-quoted or backquoted, as in analysistest.
+var wantRE = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type want struct {
+	file    string
+	line    int
+	pattern string
+	matched bool
+}
+
+// checkWants cross-checks diagnostics against the fixture's // want
+// comments: every diagnostic must match a want on its line, every
+// want must be claimed by a diagnostic.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					pattern := arg[1]
+					if arg[2] != "" {
+						pattern = arg[2]
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: pattern})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			ok, err := regexp.MatchString(w.pattern, d.Message)
+			if err != nil {
+				t.Errorf("bad want regexp %q: %v", w.pattern, err)
+				continue
+			}
+			if ok {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", relPos(pos), d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+func relPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}

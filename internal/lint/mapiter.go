@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MapIter flags range statements over maps whose iteration order can
+// leak into output — the classic byte-identity killer. Go randomises
+// map iteration order per run, so a map range that appends to a slice
+// which is never sorted, or that writes/hashes directly from the loop
+// body, yields different bytes on every execution.
+//
+// The sanctioned patterns are:
+//
+//   - collect keys (or values) into a slice and sort it before use —
+//     allowed automatically when a sort.* or slices.Sort* call naming
+//     the slice appears later in the same function;
+//   - write into another map or into per-key slots (order-insensitive
+//     sinks), which is never flagged.
+var MapIter = suppressGated(&analysis.Analyzer{
+	Name:     "mapiter",
+	Doc:      "forbid map iteration whose order can reach output, hashes or tables without a sort (determinism invariant)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMapIter,
+})
+
+const mapiterInvariant = "map iteration order is randomised; sort before it can reach any output, hash or table"
+
+// writerMethods are method names whose call inside a map-range body
+// means iteration order reached an order-sensitive sink.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true, "Sum": true, "Sum64": true, "Sum32": true,
+}
+
+// fmtWriters are fmt package-level printers; any of them inside a
+// map-range body emits in iteration order.
+var fmtWriters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMapIter(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rng := n.(*ast.RangeStmt)
+		if testFile(pass, rng.Pos()) {
+			return true
+		}
+		if _, ok := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Map); !ok {
+			return true
+		}
+		checkMapRange(pass, rng, enclosingFuncBody(stack))
+		return true
+	})
+	return nil, nil
+}
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	// Objects whose value depends on which element the iteration is
+	// visiting: the range key/value variables, plus (one level of
+	// taint) anything assigned from an expression mentioning them
+	// inside the body. An early return of such a value picks one
+	// element by iteration order — e.g. which of several invalid
+	// entries gets its error reported.
+	tainted := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	mentionsTainted := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && tainted[pass.TypesInfo.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Runs later (or not at all); its returns exit the
+			// literal, not the loop.
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if mentionsTainted(rhs) {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						tainted[obj] = true
+					} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if mentionsTainted(res) {
+					pass.Reportf(n.Pos(), "%s", invariantf("mapiter",
+						mapiterInvariant, "early return of an iteration-dependent value from a map range; which element wins depends on iteration order"))
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if sink, ok := orderSensitiveSink(pass, n); ok {
+				pass.Reportf(n.Pos(), "%s", invariantf("mapiter",
+					mapiterInvariant, "%s inside a map range emits in iteration order", sink))
+				return true
+			}
+			// append to a slice declared outside the loop: fine only
+			// if the slice is sorted later in the same function.
+			if obj := appendTarget(pass, n, rng); obj != nil && !sortedLater(pass, fnBody, obj, rng.End()) {
+				pass.Reportf(n.Pos(), "%s", invariantf("mapiter",
+					mapiterInvariant, "append inside a map range collects in iteration order and %q is never sorted afterwards", obj.Name()))
+			}
+		}
+		return true
+	})
+}
+
+// orderSensitiveSink reports whether call writes or hashes — a sink
+// where the caller observes element order.
+func orderSensitiveSink(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if fmtWriters[name] && pkgFunc(pass, call, "fmt", name) {
+		return "fmt." + name, true
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return "", false
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil && writerMethods[name] {
+		return "(" + sig.Recv().Type().String() + ")." + name, true
+	}
+	return "", false
+}
+
+// appendTarget returns the variable object when call has the shape
+// `x = append(x, ...)` (as the RHS of an assignment somewhere inside
+// the loop) with x declared outside the range statement; nil otherwise.
+func appendTarget(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt) types.Object {
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id := baseIdent(call.Args[0])
+	if id == nil {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	// Declared inside the loop body: each iteration owns it, order
+	// cannot accumulate.
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil
+	}
+	return obj
+}
+
+// baseIdent unwraps x, x.f, x[i] etc. down to the root identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedLater reports whether, after pos, the enclosing function calls
+// a sort.* / slices.Sort* function (or a sort method) with obj among
+// the arguments — the idiom that launders map order back into a
+// deterministic sequence.
+func sortedLater(pass *analysis.Pass, fnBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	if fnBody == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted {
+			return !sorted
+		}
+		if call.Pos() < pos || !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := baseIdent(arg); id != nil && pass.TypesInfo.Uses[id] == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortCall recognises the blessed sorters: anything package-level in
+// sort or slices, plus sort.Sort-style interface calls.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	pkg := obj.Pkg().Path()
+	return (pkg == "sort" || pkg == "slices") && obj.Parent() == obj.Pkg().Scope()
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Nilness reports dereferences of variables that are provably nil on
+// the path reaching them. It covers the branch-local core of the
+// upstream golang.org/x/tools nilness pass (which is SSA-based; the
+// container vendors only the vet subset of x/tools, so this is a
+// from-scratch AST implementation of the same rule): inside the body
+// of `if x == nil { ... }` — or the else branch of `if x != nil` —
+// a use of x that dereferences (x.f on a pointer, x[i], *x, x(...))
+// before any reassignment is a guaranteed runtime panic.
+var Nilness = suppress(&analysis.Analyzer{
+	Name:     "nilness",
+	Doc:      "report dereferences of provably nil values (crash invariant)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runNilness,
+})
+
+const nilnessInvariant = "a dereference on a provably-nil path is a guaranteed panic"
+
+func runNilness(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.IfStmt)(nil)}, func(n ast.Node) {
+		ifStmt := n.(*ast.IfStmt)
+		obj, op := nilComparison(pass, ifStmt.Cond)
+		if obj == nil {
+			return
+		}
+		// x == nil: then-branch has x nil. x != nil: else-branch does.
+		var nilPath ast.Stmt
+		if op == token.EQL {
+			nilPath = ifStmt.Body
+		} else if block, ok := ifStmt.Else.(*ast.BlockStmt); ok {
+			nilPath = block
+		}
+		if nilPath == nil {
+			return
+		}
+		checkNilPath(pass, nilPath, obj)
+	})
+	return nil, nil
+}
+
+// nilComparison decodes `x == nil` / `x != nil` (either operand order)
+// where x is a simple identifier of nilable type that is never
+// address-taken in the file, returning x's object and the operator.
+func nilComparison(pass *analysis.Pass, cond ast.Expr) (types.Object, token.Token) {
+	cmp, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+		return nil, 0
+	}
+	x := ast.Unparen(cmp.X)
+	y := ast.Unparen(cmp.Y)
+	if isNilIdent(y) {
+		// keep x
+	} else if isNilIdent(x) {
+		x = y
+	} else {
+		return nil, 0
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, 0
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || !nilable(obj.Type()) {
+		return nil, 0
+	}
+	return obj, cmp.Op
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Signature, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// checkNilPath walks the statements executed with obj known nil and
+// reports dereferences, stopping at the first reassignment,
+// address-taking, or closure capture of obj (conservative: any of
+// those may change or alias the value).
+func checkNilPath(pass *analysis.Pass, path ast.Stmt, obj types.Object) {
+	tainted := false // set once obj may have been reassigned
+	ast.Inspect(path, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					tainted = true
+				}
+			}
+			// Keep walking: the RHS may still dereference obj.
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					tainted = true
+				}
+			}
+		case *ast.FuncLit:
+			// The closure may run later, after obj changed.
+			return false
+		case *ast.StarExpr:
+			reportNilDeref(pass, n.X, obj, "*x dereference")
+		case *ast.SelectorExpr:
+			if _, isPtr := typeUnder(pass, n.X).(*types.Pointer); isPtr {
+				reportNilDeref(pass, n.X, obj, "field or method access")
+			}
+		case *ast.IndexExpr:
+			switch typeUnder(pass, n.X).(type) {
+			case *types.Slice, *types.Pointer:
+				reportNilDeref(pass, n.X, obj, "index")
+			}
+		case *ast.CallExpr:
+			if _, isSig := typeUnder(pass, n.Fun).(*types.Signature); isSig {
+				reportNilDeref(pass, n.Fun, obj, "call")
+			}
+		}
+		return true
+	})
+}
+
+func typeUnder(pass *analysis.Pass, e ast.Expr) types.Type {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func reportNilDeref(pass *analysis.Pass, e ast.Expr, obj types.Object, what string) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != obj {
+		return
+	}
+	pass.Reportf(e.Pos(), "%s", invariantf("nilness",
+		nilnessInvariant, "%s of %q, which is nil on this path", what, obj.Name()))
+}

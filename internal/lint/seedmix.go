@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// SeedMix flags ad-hoc arithmetic on seed values. Per-job and
+// per-trial seeds must be derived through the FNV mix helpers
+// (experiments.cellSeed / trialSeed, profibus.BatchSeed, the topology
+// segment seeds): naive derivations like seed+int64(i) collide across
+// shards — cell 3 of a base seed equals cell 0 of base+3 — correlating
+// random streams that the analysis assumes independent.
+//
+// The helpers themselves mix through hash/fnv, so any arithmetic in a
+// function that builds an FNV hash is allowed; everything else that
+// combines a seed-named integer with +, -, *, ^, | or % is flagged.
+var SeedMix = suppressGated(&analysis.Analyzer{
+	Name:     "seedmix",
+	Doc:      "require per-job seeds to be derived via the FNV mix helpers, not ad-hoc arithmetic (seed-independence invariant)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runSeedMix,
+})
+
+const seedmixInvariant = "per-job random streams must be pairwise independent; ad-hoc seed arithmetic collides across shards"
+
+var seedMixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true,
+	token.XOR: true, token.OR: true, token.REM: true,
+}
+
+func runSeedMix(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		expr := n.(*ast.BinaryExpr)
+		if testFile(pass, expr.Pos()) || !seedMixOps[expr.Op] {
+			return true
+		}
+		if !isIntType(pass.TypesInfo.TypeOf(expr)) {
+			return true
+		}
+		seedSide := seedOperand(pass, expr.X)
+		if seedSide == nil {
+			seedSide = seedOperand(pass, expr.Y)
+		}
+		if seedSide == nil {
+			return true
+		}
+		if fnBody := enclosingFuncBody(stack); fnBody != nil && buildsFNVHash(pass, fnBody) {
+			return true
+		}
+		pass.Reportf(expr.Pos(), "%s", invariantf("seedmix",
+			seedmixInvariant, "ad-hoc arithmetic on seed %q; derive per-job seeds through the FNV mix helpers (cellSeed/trialSeed/BatchSeed)", seedSide.Name))
+		return true
+	})
+	return nil, nil
+}
+
+// seedOperand returns the identifier when e mentions an integer
+// variable whose name contains "seed" (any case), unwrapping
+// selectors and conversions like int64(seed).
+func seedOperand(pass *analysis.Pass, e ast.Expr) *ast.Ident {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if strings.Contains(strings.ToLower(v.Name), "seed") && isIntVar(pass, v) {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if strings.Contains(strings.ToLower(v.Sel.Name), "seed") && isIntVar(pass, v.Sel) {
+			return v.Sel
+		}
+	case *ast.CallExpr:
+		// Conversions such as int64(cfg.Seed) or uint64(seed).
+		if len(v.Args) == 1 {
+			if _, isConv := pass.TypesInfo.Types[v.Fun]; isConv && pass.TypesInfo.Types[v.Fun].IsType() {
+				return seedOperand(pass, v.Args[0])
+			}
+		}
+	}
+	return nil
+}
+
+func isIntVar(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	return isIntType(obj.Type())
+}
+
+func isIntType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// buildsFNVHash reports whether body constructs a hash/fnv hasher —
+// the marker of a sanctioned mix helper, whose final `seed ^ sum`
+// fold is the approved construction.
+func buildsFNVHash(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		for _, ctor := range []string{"New32", "New32a", "New64", "New64a", "New128", "New128a"} {
+			if pkgFunc(pass, call, "hash/fnv", ctor) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Shadow reports declarations that shadow an outer variable which is
+// still used after the shadow comes into existence — the mistake where
+// `x, err := f()` inside a block silently leaves the outer err
+// untouched. It mirrors the upstream golang.org/x/tools shadow pass
+// (re-implemented here because the container vendors only the vet
+// subset of x/tools), including its main noise filter: a shadow is
+// only interesting when the shadowed variable is referenced again
+// after the inner declaration, otherwise the inner name could simply
+// have reused the outer one.
+var Shadow = suppress(&analysis.Analyzer{
+	Name:     "shadow",
+	Doc:      "report shadowed variables that are used again after the shadowing declaration",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runShadow,
+})
+
+const shadowInvariant = "a shadowing declaration silently splits one variable into two"
+
+func runShadow(pass *analysis.Pass) (interface{}, error) {
+	// Uses of each variable, gathered once so the "used after the
+	// shadow" filter is O(uses) overall.
+	lastUse := make(map[types.Object]int) // object -> max use offset
+	for id, obj := range pass.TypesInfo.Uses {
+		if v, ok := obj.(*types.Var); ok {
+			if p := int(id.Pos()); p > lastUse[v] {
+				lastUse[v] = p
+			}
+		}
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.GenDecl)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" {
+				return
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				// `x := x` is the sanctioned per-iteration copy /
+				// closure-capture idiom, not a mistake.
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					if rhs, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident); ok && rhs.Name == id.Name {
+						continue
+					}
+				}
+				checkShadow(pass, id, lastUse)
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if i < len(vs.Values) && len(vs.Names) == len(vs.Values) {
+						if rhs, ok := ast.Unparen(vs.Values[i]).(*ast.Ident); ok && rhs.Name == id.Name {
+							continue
+						}
+					}
+					checkShadow(pass, id, lastUse)
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+func checkShadow(pass *analysis.Pass, id *ast.Ident, lastUse map[types.Object]int) {
+	if id.Name == "_" || id.Name == "err" {
+		// The upstream pass special-cases nothing, but `if err := f();
+		// err != nil` scoping is the dominant Go idiom and flagging it
+		// would drown real findings; the determinism-relevant shadows
+		// are data variables, not error temporaries.
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		return
+	}
+	inner := obj.Parent()
+	if inner == nil {
+		return
+	}
+	parent := inner.Parent()
+	if parent == nil {
+		return
+	}
+	// LookupParent from just before the inner declaration finds what
+	// the name bound to previously.
+	_, outer := parent.LookupParent(id.Name, id.Pos())
+	outerVar, ok := outer.(*types.Var)
+	if !ok || outerVar == obj {
+		return
+	}
+	// Only function-local shadows: shadowing a package-level variable
+	// or an import is a different (and usually deliberate) pattern.
+	if outerVar.Parent() == pass.Pkg.Scope() || outerVar.Parent() == types.Universe {
+		return
+	}
+	// Fields and dot-imported names have no scope chain here.
+	if outerVar.IsField() {
+		return
+	}
+	// The filter that makes the pass usable: report only if the outer
+	// variable is read again after the shadow is declared — otherwise
+	// the two never coexist observably.
+	if lastUse[outerVar] <= int(id.Pos()) {
+		return
+	}
+	pass.Reportf(id.Pos(), "%s", invariantf("shadow",
+		shadowInvariant, "declaration of %q shadows declaration at %s, and the outer variable is used after this point",
+		id.Name, pass.Fset.Position(outerVar.Pos())))
+}

@@ -1,0 +1,61 @@
+// Fixture for the ctxthread analyzer: fabricated root contexts and
+// dropped context threading.
+package fixture
+
+import "context"
+
+func callee(ctx context.Context, n int) int {
+	if ctx == nil {
+		return 0
+	}
+	return n
+}
+
+// The documented nil-ctx default idiom is the one sanctioned fresh
+// root in library code.
+func entryPoint(ctx context.Context) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return callee(ctx, 1)
+}
+
+// Reversed operand order still counts.
+func entryPointReversed(ctx context.Context) int {
+	if nil == ctx {
+		ctx = context.Background()
+	}
+	return callee(ctx, 1)
+}
+
+// A fresh root anywhere else severs cancellation.
+func freshRoot(n int) int {
+	return callee(context.Background(), n) // want `ctxthread: context\.Background\(\) outside main/tests/nil-ctx defaults`
+}
+
+func freshTODO(n int) int {
+	return callee(context.TODO(), n) // want `ctxthread: context\.TODO\(\) outside main/tests/nil-ctx defaults`
+}
+
+// Dropping a received context on the floor while calling a
+// context-accepting callee.
+func dropsCtx(ctx context.Context, n int) int {
+	return callee(nil, n) // want `ctxthread: nil context passed to a callee while a context\.Context is in scope`
+}
+
+// Proper threading is silent.
+func threads(ctx context.Context, n int) int {
+	return callee(ctx, n)
+}
+
+// Derived contexts are threading too.
+func derives(ctx context.Context, n int) int {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return callee(sub, n)
+}
+
+func suppressedRoot(n int) int {
+	//profilint:ignore ctxthread background job detached from any request by design
+	return callee(context.Background(), n)
+}

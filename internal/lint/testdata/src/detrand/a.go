@@ -1,0 +1,42 @@
+// Fixture for the detrand analyzer: wall-clock reads and global RNG
+// draws in a result-producing package.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `detrand: time\.Now\(\)`
+}
+
+func globalDraw() int64 {
+	return rand.Int63() // want `detrand: math/rand\.Int63 draws from the unseeded process-global RNG`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `detrand: math/rand\.Shuffle`
+}
+
+// Seeded generators are the sanctioned construction.
+func seeded(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Int63()
+}
+
+// time.Since on a caller-provided instant is fine; only Now() reads
+// the wall clock.
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}
+
+func suppressed() time.Time {
+	//profilint:ignore detrand this fixture documents a justified suppression
+	return time.Now()
+}
+
+func badSuppression() time.Time {
+	/*profilint:ignore detrand*/ // want `detrand: //profilint:ignore needs a non-empty reason`
+	return time.Now()            // want `detrand: time\.Now\(\)`
+}

@@ -1,0 +1,15 @@
+// Test files are exempt from the house rules: they may time
+// themselves and draw from the global RNG freely. No diagnostics are
+// expected anywhere in this file.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timedProbe() time.Duration {
+	start := time.Now()
+	_ = rand.Int63()
+	return time.Since(start)
+}

@@ -1,0 +1,126 @@
+// Fixture for the mapiter analyzer: map iteration order leaking into
+// slices, writers and early returns.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Collecting into an outer slice without sorting leaks map order.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `mapiter: append inside a map range`
+	}
+	return keys
+}
+
+// The sanctioned idiom: collect, then sort before use.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator counts too.
+func sortedPairs(m map[string]int) []string {
+	var pairs []string
+	for k, v := range m {
+		pairs = append(pairs, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	return pairs
+}
+
+// Writing from inside the loop body emits in iteration order.
+func dumpDirect(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `mapiter: fmt\.Fprintf inside a map range`
+	}
+}
+
+func buildDirect(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `mapiter: .*WriteString inside a map range`
+	}
+	return b.String()
+}
+
+// Order-insensitive sinks are fine: writing into another map, or
+// accumulating a commutative reduction.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// A slice declared inside the loop body is per-iteration state.
+func perIteration(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Early return of an iteration-dependent value: which entry's error
+// surfaces depends on iteration order.
+func firstBad(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("bad entry %q", k) // want `mapiter: early return of an iteration-dependent value`
+		}
+	}
+	return nil
+}
+
+// One level of taint: a local derived from the range variable carries
+// the order dependence into the return.
+func firstBadIndirect(m map[string]int, check func(string) error) error {
+	for k := range m {
+		err := check(k)
+		if err != nil {
+			return err // want `mapiter: early return of an iteration-dependent value`
+		}
+	}
+	return nil
+}
+
+// Membership-style early returns mention no range variable and are
+// order-independent.
+func contains(m map[string]bool, want string) bool {
+	for k := range m {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+func suppressedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//profilint:ignore mapiter order is laundered by the caller's sort
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,69 @@
+// Fixture for the nilness analyzer: dereferences on provably-nil
+// paths.
+package fixture
+
+type node struct {
+	next  *node
+	value int
+}
+
+func derefInNilBranch(p *node) int {
+	if p == nil {
+		return p.value // want `nilness: field or method access of "p"`
+	}
+	return p.value
+}
+
+func derefInElseOfNotNil(p *node) int {
+	if p != nil {
+		return p.value
+	} else {
+		return p.value // want `nilness: field or method access of "p"`
+	}
+}
+
+func callNilFunc(f func() int) int {
+	if f == nil {
+		return f() // want `nilness: call of "f"`
+	}
+	return f()
+}
+
+func indexNilSlice(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `nilness: index of "xs"`
+	}
+	return xs[0]
+}
+
+func starNilPtr(p *int) int {
+	if p == nil {
+		return *p // want `nilness: \*x dereference of "p"`
+	}
+	return *p
+}
+
+// Reassignment before the use clears the nil fact.
+func reassigned(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.value
+	}
+	return p.value
+}
+
+// Map reads on nil maps are defined; only nilable deref forms count.
+func nilMapRead(m map[string]int) int {
+	if m == nil {
+		return m["x"]
+	}
+	return m["x"]
+}
+
+// The guarded branch is fine.
+func properGuard(p *node) int {
+	if p == nil {
+		return 0
+	}
+	return p.value
+}

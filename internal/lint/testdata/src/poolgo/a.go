@@ -1,0 +1,27 @@
+// Fixture for the poolgo analyzer: raw goroutines outside
+// internal/pool. Loaded both as a result-producing package (findings
+// expected) and as profirt/internal/pool itself (exempt).
+package fixture
+
+import "sync"
+
+func fanOut(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		wg.Add(1)
+		go func() { // want `poolgo: raw go statement outside internal/pool`
+			defer wg.Done()
+			job()
+		}()
+	}
+	wg.Wait()
+}
+
+func fireAndForget(f func()) {
+	go f() // want `poolgo: raw go statement outside internal/pool`
+}
+
+func suppressedSpawn(f func()) {
+	//profilint:ignore poolgo one supervisor goroutine per process, started once at init
+	go f()
+}

@@ -1,0 +1,56 @@
+// Fixture for the seedmix analyzer: ad-hoc seed arithmetic vs the
+// sanctioned FNV mix construction.
+package fixture
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+type config struct {
+	Seed int64
+}
+
+// The classic collision: cell 3 of base seed s equals cell 0 of s+3.
+func adHocOffset(seed int64, i int) int64 {
+	return seed + int64(i) // want `seedmix: ad-hoc arithmetic on seed "seed"`
+}
+
+func adHocXor(seed int64, i int) int64 {
+	return seed ^ int64(i) // want `seedmix: ad-hoc arithmetic on seed "seed"`
+}
+
+func adHocField(cfg config, i int) int64 {
+	return cfg.Seed * int64(i+1) // want `seedmix: ad-hoc arithmetic on seed "Seed"`
+}
+
+func adHocConverted(cfg config, i uint64) uint64 {
+	return uint64(cfg.Seed) + i // want `seedmix: ad-hoc arithmetic on seed "Seed"`
+}
+
+// The sanctioned construction: fold an FNV-1a digest of the job
+// coordinates into the base seed. Building the hash marks the whole
+// function as a mix helper.
+func mixSeed(seed int64, id string, index int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	var idx [8]byte
+	binary.LittleEndian.PutUint64(idx[:], uint64(index))
+	h.Write(idx[:])
+	return seed ^ int64(h.Sum64())
+}
+
+// Non-seed integer arithmetic is out of scope.
+func plainArith(count, i int) int {
+	return count + i
+}
+
+// Comparisons never mix.
+func seedCompare(seed, other int64) bool {
+	return seed == other || seed < other
+}
+
+func suppressedArith(seed int64) int64 {
+	//profilint:ignore seedmix display offset only, never used to seed an RNG
+	return seed + 1
+}

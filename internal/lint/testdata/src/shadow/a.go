@@ -1,0 +1,54 @@
+// Fixture for the shadow analyzer: inner declarations that silently
+// split a variable in two.
+package fixture
+
+func shadowedAndUsedAfter(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x > 0 {
+			total := x // want `shadow: declaration of "total" shadows declaration`
+			_ = total
+		}
+	}
+	return total
+}
+
+func shadowedVarDecl(xs []int) int {
+	result := 0
+	if len(xs) > 0 {
+		var result = xs[0] // want `shadow: declaration of "result" shadows declaration`
+		_ = result
+	}
+	return result
+}
+
+// Shadow whose outer is never used afterwards: harmless, not
+// reported.
+func shadowLastUse(xs []int) int {
+	n := len(xs)
+	if n > 0 {
+		n := xs[0]
+		return n
+	}
+	return 0
+}
+
+// The per-iteration copy idiom is sanctioned.
+func captureIdiom(xs []int) []func() int {
+	var fs []func() int
+	for _, x := range xs {
+		x := x
+		fs = append(fs, func() int { return x })
+	}
+	return fs
+}
+
+// A fresh name in the inner scope shadows nothing.
+func noShadow(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		inner := x * 2
+		total += inner
+	}
+	return total
+}

@@ -110,3 +110,44 @@ func TestSegmentSeedDistinct(t *testing.T) {
 		t.Error("segmentSeed ignores the configured Seed")
 	}
 }
+
+// TestCyclicErrorDeterministic is the regression test for the
+// checkAcyclic fix: with several distinct cycles in the relay graph,
+// the error Validate reports must not depend on map iteration order.
+// Before roots were visited in sorted order, repeated calls named
+// whichever cycle the randomised map range reached first.
+func TestCyclicErrorDeterministic(t *testing.T) {
+	build := func() SimTopology {
+		return SimTopology{
+			Seed: 1,
+			Segments: []SimSegment{
+				simSegment("A", ap.DM,
+					simStream("s1", 30_000), simStream("s2", 30_000)),
+				simSegment("B", ap.DM,
+					simStream("t1", 30_000), simStream("t2", 30_000)),
+			},
+			// Two disjoint cycles: s1→t1→s1 and s2→t2→s2.
+			Bridges: []Bridge{
+				{Name: "f1", From: "A", To: "B", Latency: 1,
+					Relays: []Relay{{Name: "rf1", FromStream: "s1", ToStream: "t1", Deadline: 1_000}}},
+				{Name: "b1", From: "B", To: "A", Latency: 1,
+					Relays: []Relay{{Name: "rb1", FromStream: "t1", ToStream: "s1", Deadline: 1_000}}},
+				{Name: "f2", From: "A", To: "B", Latency: 1,
+					Relays: []Relay{{Name: "rf2", FromStream: "s2", ToStream: "t2", Deadline: 1_000}}},
+				{Name: "b2", From: "B", To: "A", Latency: 1,
+					Relays: []Relay{{Name: "rb2", FromStream: "t2", ToStream: "s2", Deadline: 1_000}}},
+			},
+		}
+	}
+	st := build()
+	first := st.Validate()
+	if first == nil {
+		t.Fatal("Validate accepted a cyclic topology")
+	}
+	for i := 0; i < 100; i++ {
+		st := build()
+		if err := st.Validate(); err == nil || err.Error() != first.Error() {
+			t.Fatalf("run %d: Validate() = %v, want the stable %v", i, err, first)
+		}
+	}
+}

@@ -31,6 +31,7 @@ package topology
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"profirt/internal/ap"
 	"profirt/internal/core"
@@ -243,7 +244,20 @@ func checkAcyclic(edges map[streamKey][]streamKey) error {
 		state[k] = done
 		return nil
 	}
+	// Visit roots in sorted order: with several cycles present, which
+	// one the error names must not depend on map iteration order —
+	// Validate's output is part of the byte-identity contract.
+	roots := make([]streamKey, 0, len(edges))
 	for k := range edges {
+		roots = append(roots, k)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].seg != roots[j].seg {
+			return roots[i].seg < roots[j].seg
+		}
+		return roots[i].stream < roots[j].stream
+	})
+	for _, k := range roots {
 		if err := visit(k); err != nil {
 			return err
 		}
