@@ -51,10 +51,17 @@ race:
 # (structured metrics + the verbatim benchstat-compatible text under
 # .raw; compare runs with
 # `jq -r .raw BENCH_results.json | benchstat old.txt /dev/stdin`).
+# benchjson doubles as the perf guard: the fresh numbers are compared
+# against the committed baseline before it is overwritten, and the
+# target fails when ns/op or allocs/op regressed past 20% or when the
+# cached experiments suite ran slower than the sequential one (git
+# still holds the previous baseline for the diff). bench-delta.json
+# carries the comparison for CI artifacts. BENCHFLAGS=-warn demotes
+# the guard to a report on noisy machines.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkAllExperiments|BenchmarkAnalyzeBatch|BenchmarkAnalyzeCached|BenchmarkSimulateBatch|BenchmarkCampaign|BenchmarkEngineConcurrentCallers' -benchmem . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	cat bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_results.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_results.json -baseline BENCH_results.json -delta bench-delta.json $(BENCHFLAGS) < bench.out
 	@rm -f bench.out
 
 # One iteration of every benchmark in the module: catches bit-rotted

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The perf guard: compare a fresh benchmark run against the committed
+// BENCH_results.json baseline and fail (or warn) when a benchmark
+// regressed past the threshold on wall time or allocations. The
+// comparison is implemented in-repo — no benchstat dependency — over
+// the metrics both reports share.
+
+// compareMetrics are the units the guard inspects. ns/op is noisy on
+// shared runners (hence the generous threshold and the -warn escape
+// hatch); allocs/op is nearly deterministic, so the same threshold
+// catches real allocation regressions reliably.
+var compareMetrics = []string{"ns/op", "allocs/op"}
+
+// Delta is one (benchmark, metric) comparison against the baseline.
+type Delta struct {
+	// Name is the benchmark identifier.
+	Name string `json:"name"`
+	// Metric is the compared unit (ns/op or allocs/op).
+	Metric string `json:"metric"`
+	// Old and New are the baseline and current values.
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	// Pct is the relative change in percent ((new-old)/old · 100).
+	Pct float64 `json:"pct"`
+	// Regressed marks deltas past the threshold.
+	Regressed bool `json:"regressed,omitempty"`
+}
+
+// DeltaReport is the comparison artifact schema (-delta).
+type DeltaReport struct {
+	// Baseline echoes the baseline's generation time.
+	BaselineUnix int64 `json:"baseline_unix"`
+	// MaxRegressPct is the failure threshold applied.
+	MaxRegressPct float64 `json:"max_regress_pct"`
+	// Deltas holds every compared (benchmark, metric) pair, sorted by
+	// descending percentage change.
+	Deltas []Delta `json:"deltas"`
+	// Regressions counts deltas past the threshold.
+	Regressions int `json:"regressions"`
+	// CachedSlowerPct is how much slower BenchmarkAllExperimentsCached
+	// ran than BenchmarkAllExperimentsSequential in the current run
+	// (negative = faster); the guard enforces the "a cache must never
+	// cost more than it saves" acceptance criterion on it.
+	CachedSlowerPct float64 `json:"cached_slower_pct"`
+	CachedRegressed bool    `json:"cached_regressed,omitempty"`
+}
+
+// cachedVsSequentialSlackPct tolerates measurement noise on the
+// cached-vs-sequential rule before declaring the cache a pessimisation.
+const cachedVsSequentialSlackPct = 10
+
+// compare builds the delta report of cur against the baseline at path.
+func compare(baselinePath string, cur Report, maxRegressPct float64) (DeltaReport, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return DeltaReport{}, err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return DeltaReport{}, fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+
+	rep := DeltaReport{BaselineUnix: base.Unix, MaxRegressPct: maxRegressPct}
+	for _, b := range cur.Benchmarks {
+		old, ok := baseBy[b.Name]
+		if !ok {
+			continue
+		}
+		for _, metric := range compareMetrics {
+			ov, haveOld := old.Metrics[metric]
+			nv, haveNew := b.Metrics[metric]
+			if !haveOld || !haveNew || ov <= 0 {
+				continue
+			}
+			d := Delta{Name: b.Name, Metric: metric, Old: ov, New: nv, Pct: (nv - ov) / ov * 100}
+			d.Regressed = d.Pct > maxRegressPct
+			if d.Regressed {
+				rep.Regressions++
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	sort.SliceStable(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Pct > rep.Deltas[j].Pct })
+
+	// Cached-vs-sequential rule, evaluated within the current run so a
+	// uniformly slow machine cannot mask (or fake) it.
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	seq, okSeq := curBy["BenchmarkAllExperimentsSequential"]
+	cached, okCached := curBy["BenchmarkAllExperimentsCached"]
+	if okSeq && okCached && seq.Metrics["ns/op"] > 0 {
+		rep.CachedSlowerPct = (cached.Metrics["ns/op"] - seq.Metrics["ns/op"]) / seq.Metrics["ns/op"] * 100
+		rep.CachedRegressed = rep.CachedSlowerPct > cachedVsSequentialSlackPct
+	}
+	return rep, nil
+}
+
+// render prints the human-readable comparison to stderr.
+func (rep DeltaReport) render() {
+	for _, d := range rep.Deltas {
+		mark := " "
+		if d.Regressed {
+			mark = "!"
+		}
+		fmt.Fprintf(os.Stderr, "%s %-44s %-10s %14.1f -> %14.1f  %+7.1f%%\n",
+			mark, d.Name, d.Metric, d.Old, d.New, d.Pct)
+	}
+	fmt.Fprintf(os.Stderr, "cached vs sequential (same run): %+.1f%%\n", rep.CachedSlowerPct)
+	if rep.CachedRegressed {
+		fmt.Fprintf(os.Stderr, "! cached experiments run slower than sequential beyond the %d%% slack\n",
+			cachedVsSequentialSlackPct)
+	}
+	if rep.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "! %d metric(s) regressed past %.0f%% vs baseline\n",
+			rep.Regressions, rep.MaxRegressPct)
+	}
+}
+
+// failed reports whether the guard should reject the run.
+func (rep DeltaReport) failed() bool {
+	return rep.Regressions > 0 || rep.CachedRegressed
+}

@@ -5,6 +5,16 @@
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -o BENCH_results.json
 //	jq -r .raw BENCH_results.json | benchstat /dev/stdin
+//
+// With -baseline it additionally acts as the perf guard: each shared
+// benchmark's ns/op and allocs/op are compared against the baseline
+// report and the run fails when either regressed past -max-regress
+// percent (default 20), or when the cached experiments suite ran
+// slower than the sequential one in the fresh results. -warn demotes
+// failures to a report (for noisy CI runners) and -delta writes the
+// comparison as a JSON artifact:
+//
+//	... | go run ./cmd/benchjson -o BENCH_results.json -baseline BENCH_results.json -delta bench-delta.json
 package main
 
 import (
@@ -49,12 +59,29 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output path (- for stdout)")
+	baseline := flag.String("baseline", "", "baseline BENCH_results.json to compare against (perf guard)")
+	deltaOut := flag.String("delta", "", "write the comparison report as JSON to this path")
+	maxRegress := flag.Float64("max-regress", 20, "fail when ns/op or allocs/op regress past this percentage")
+	warn := flag.Bool("warn", false, "report regressions but exit 0 (CI shared-runner mode)")
 	flag.Parse()
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+
+	// Compare before writing: baseline and output may be the same file.
+	var delta DeltaReport
+	haveDelta := false
+	if *baseline != "" {
+		delta, err = compare(*baseline, rep, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		haveDelta = true
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -63,10 +90,27 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	if !haveDelta {
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	delta.render()
+	if *deltaOut != "" {
+		dj, err := json.MarshalIndent(delta, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*deltaOut, append(dj, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if delta.failed() && !*warn {
 		os.Exit(1)
 	}
 }

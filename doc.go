@@ -120,6 +120,26 @@
 // existing code keeps compiling and even legacy callers now share one
 // bounded pool.
 //
+// # Performance
+//
+// The hot paths are allocation-flattened, and every reuse is pinned by
+// the byte-identity equivalence suites under -race: the DM/EDF/FCFS
+// fixed-point iterations and the holistic per-master state run on
+// sync.Pool-backed scratch buffers; the PROFIBUS simulator and the DES
+// core pool event and trace storage across trials with explicit Reset
+// paths (value-typed event heap, head-indexed FIFO queues); cache keys
+// are screened by a commutative FNV-1a pre-hash and a per-shard
+// counting filter, so a guaranteed miss skips the canonical sort and
+// SHA-256 entirely; AnalyzeHolistic and AnalyzeTopology memoize whole
+// deep-copied results keyed on the full configuration; and the
+// experiment harness arms the cache's hit-rate auto-disable before any
+// key is hashed, so all-distinct sweeps shed the cache instead of
+// paying for it. `make bench` doubles as the perf guard, comparing
+// ns/op and allocs/op per benchmark against the committed
+// BENCH_results.json baseline (fail past 20% regression) and enforcing
+// that the cached experiments suite is never slower than the
+// sequential one. See the README's "Performance" section.
+//
 // # Static analysis
 //
 // The invariants above — determinism at any parallelism, bounded

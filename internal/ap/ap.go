@@ -7,7 +7,6 @@
 package ap
 
 import (
-	"container/heap"
 	"fmt"
 
 	"profirt/internal/timeunit"
@@ -81,11 +80,21 @@ func (q *Queue) Policy() Policy { return q.policy }
 // Len returns the number of queued requests.
 func (q *Queue) Len() int { return len(q.h.items) }
 
+// Reset empties the queue and re-arms it with the given policy while
+// keeping the backing array, so a pooled simulator reuses it across
+// runs without allocating.
+func (q *Queue) Reset(policy Policy) {
+	q.policy = policy
+	q.h.policy = policy
+	q.h.items = q.h.items[:0]
+	q.seq = 0
+}
+
 // Push enqueues a request. Ties on the ordering key are FIFO.
 func (q *Queue) Push(r Request) {
 	r.seq = q.seq
 	q.seq++
-	heap.Push(&q.h, r)
+	q.h.push(r)
 }
 
 // Pop removes and returns the frontmost request.
@@ -93,7 +102,7 @@ func (q *Queue) Pop() (Request, bool) {
 	if len(q.h.items) == 0 {
 		return Request{}, false
 	}
-	return heap.Pop(&q.h).(Request), true
+	return q.h.pop(), true
 }
 
 // Peek returns the frontmost request without removing it.
@@ -104,14 +113,18 @@ func (q *Queue) Peek() (Request, bool) {
 	return q.h.items[0], true
 }
 
+// reqHeap is a hand-rolled binary min-heap of Request values. The
+// simulator pushes one request per message release, so the interface
+// boxing container/heap would impose (one allocation per Push and Pop)
+// is measurable; hand-rolling keeps the queue allocation-free once the
+// backing array has grown.
 type reqHeap struct {
 	policy Policy
 	items  []Request
 }
 
-func (h *reqHeap) Len() int { return len(h.items) }
-func (h *reqHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
+func (h *reqHeap) less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
 	var ka, kb Ticks
 	switch h.policy {
 	case DM:
@@ -126,14 +139,42 @@ func (h *reqHeap) Less(i, j int) bool {
 	}
 	return a.seq < b.seq
 }
-func (h *reqHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *reqHeap) Push(x any)    { h.items = append(h.items, x.(Request)) }
-func (h *reqHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+
+func (h *reqHeap) push(r Request) {
+	h.items = append(h.items, r)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *reqHeap) pop() Request {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items = h.items[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && h.less(r, l) {
+			child = r
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h.items[i], h.items[child] = h.items[child], h.items[i]
+		i = child
+	}
+	return top
 }
 
 // StackSlot models the communication-stack outgoing queue limited to

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/big"
+	"sync"
 
 	"profirt/internal/timeunit"
 )
@@ -76,6 +77,65 @@ func dmHigherPriority(streams []Stream, j, i int) bool {
 	return j < i
 }
 
+// dmScratch is the reusable working state of one DMResponseTimes call:
+// the DM priority order, each stream's rank, the per-rank divergence
+// flags from the exact prefix-utilization sweep, and the big.Rat
+// accumulators. Pooled so repeated analyses (the memo layer's misses,
+// the holistic rounds, the topology fixed point) stop re-allocating.
+type dmScratch struct {
+	order  []int  // stream indices, highest DM priority first
+	pos    []int  // pos[i] = rank of stream i in order
+	hpDiv  []bool // rank k: utilization of order[:k] >= 1 (and k > 0)
+	lvlDiv []bool // rank k: utilization of order[:k+1] >= 1
+	sum    *big.Rat
+	term   *big.Rat
+	one    *big.Rat
+}
+
+var dmScratchPool = sync.Pool{New: func() any {
+	return &dmScratch{sum: new(big.Rat), term: new(big.Rat), one: big.NewRat(1, 1)}
+}}
+
+// prepare sizes the scratch, sorts the priority order and evaluates the
+// divergence flags with a single exact prefix-utilization sweep
+// (replacing one O(n) big.Rat summation per stream).
+func (sc *dmScratch) prepare(streams []Stream, tcycle Ticks) {
+	n := len(streams)
+	if cap(sc.order) < n {
+		sc.order = make([]int, n)
+		sc.pos = make([]int, n)
+		sc.hpDiv = make([]bool, n)
+		sc.lvlDiv = make([]bool, n)
+	}
+	sc.order = sc.order[:n]
+	sc.pos = sc.pos[:n]
+	sc.hpDiv = sc.hpDiv[:n]
+	sc.lvlDiv = sc.lvlDiv[:n]
+	// Stable insertion sort by deadline: starting from the identity
+	// permutation with strict-less comparisons reproduces
+	// dmHigherPriority's (D, index) order exactly.
+	for i := range sc.order {
+		sc.order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		j := i
+		for j > 0 && streams[sc.order[j]].D < streams[sc.order[j-1]].D {
+			sc.order[j], sc.order[j-1] = sc.order[j-1], sc.order[j]
+			j--
+		}
+	}
+	sc.sum.SetInt64(0)
+	for k, idx := range sc.order {
+		sc.pos[idx] = k
+		sc.hpDiv[k] = k > 0 && sc.lvlDiv[k-1]
+		if s := streams[idx]; s.T > 0 {
+			sc.term.SetFrac64(int64(tcycle), int64(s.T))
+			sc.sum.Add(sc.sum, sc.term)
+		}
+		sc.lvlDiv[k] = sc.sum.Cmp(sc.one) >= 0
+	}
+}
+
 // DMResponseTimes evaluates the worst-case response time of every high
 // priority stream of one master under the paper's architecture with a
 // DM-ordered AP queue (Eq. 16). Results align with the input order.
@@ -85,36 +145,35 @@ func DMResponseTimes(streams []Stream, tcycle Ticks, opts DMOptions) []Ticks {
 	if horizon <= 0 {
 		horizon = defaultMsgHorizon
 	}
+	sc := dmScratchPool.Get().(*dmScratch)
+	sc.prepare(streams, tcycle)
 	out := make([]Ticks, len(streams))
 	for i := range streams {
-		out[i] = dmResponseOne(streams, i, tcycle, opts, horizon)
+		out[i] = dmResponseOne(streams, i, tcycle, opts, horizon, sc)
 	}
+	dmScratchPool.Put(sc)
 	return out
 }
 
-func dmResponseOne(streams []Stream, i int, tcycle Ticks, opts DMOptions, horizon Ticks) Ticks {
-	// Identify the interference set and whether i has anyone below it.
-	var hp []int
-	hasLower := opts.BlockingFromLowPriority
-	for j := range streams {
-		if j == i {
-			continue
-		}
-		if dmHigherPriority(streams, j, i) {
-			hp = append(hp, j)
-		} else {
-			hasLower = true
-		}
-	}
+func dmResponseOne(streams []Stream, i int, tcycle Ticks, opts DMOptions, horizon Ticks, sc *dmScratch) Ticks {
+	// The interference set hp(i) is the priority-order prefix above
+	// stream i's rank; interference and busy-period sums below iterate
+	// it in priority order, which leaves every result unchanged:
+	// saturating sums of non-negative terms are order-independent.
+	p := sc.pos[i]
+	hp := sc.order[:p]
+	// lowerHigh: a lower-priority *high* stream exists below i.
+	lowerHigh := p < len(streams)-1
+	hasLower := opts.BlockingFromLowPriority || lowerHigh
 	// With higher-priority message load at or above one request per
 	// token cycle the recurrences diverge; and with the level-i load
 	// (hp plus stream i itself) at or above that point the level-i busy
 	// period examined by the revised analysis never ends. Report both
 	// directly instead of iterating toward the horizon.
-	if len(hp) > 0 && msgUtilizationAtLeastOne(streams, hp, tcycle) {
+	if sc.hpDiv[p] {
 		return timeunit.MaxTicks
 	}
-	if !opts.Literal && msgUtilizationAtLeastOne(streams, append(append([]int{}, hp...), i), tcycle) {
+	if !opts.Literal && sc.lvlDiv[p] {
 		return timeunit.MaxTicks
 	}
 
@@ -123,7 +182,7 @@ func dmResponseOne(streams []Stream, i int, tcycle Ticks, opts DMOptions, horizo
 		// stream (no lower-priority high stream; the paper does not
 		// consider low-priority traffic here).
 		tstar := tcycle
-		if !hasLowerHigh(streams, i) {
+		if !lowerHigh {
 			tstar = 0
 		}
 		r := tstar
@@ -182,19 +241,20 @@ func dmResponseOne(streams []Stream, i int, tcycle Ticks, opts DMOptions, horizo
 	// higher-priority arrivals can bridge the gap between one request's
 	// completion and the next release (push-through), so the number of
 	// requests to examine comes from the closed busy period, not from
-	// per-request termination.
+	// per-request termination. The level set is hp(i) plus i itself.
 	busy := blocking
-	level := append(append([]int(nil), hp...), i)
-	for range level {
+	for range p + 1 {
 		busy = timeunit.AddSat(busy, tcycle)
+	}
+	levelTerm := func(w Ticks, s Stream) Ticks {
+		return timeunit.MulSat(timeunit.CeilDiv(w+s.J, s.T), tcycle)
 	}
 	for {
 		next := blocking
-		for _, j := range level {
-			s := streams[j]
-			next = timeunit.AddSat(next,
-				timeunit.MulSat(timeunit.CeilDiv(busy+s.J, s.T), tcycle))
+		for _, j := range hp {
+			next = timeunit.AddSat(next, levelTerm(busy, streams[j]))
 		}
+		next = timeunit.AddSat(next, levelTerm(busy, si))
 		if next == busy {
 			break
 		}
@@ -224,18 +284,6 @@ func dmResponseOne(streams []Stream, i int, tcycle Ticks, opts DMOptions, horizo
 		}
 	}
 	return timeunit.AddSat(best, si.J)
-}
-
-// hasLowerHigh reports whether stream i has a lower-priority *high*
-// stream under DM order (the paper's notion of "lowest priority" in
-// Eq. 16 concerns the high-priority queue only).
-func hasLowerHigh(streams []Stream, i int) bool {
-	for j := range streams {
-		if j != i && dmHigherPriority(streams, i, j) {
-			return true
-		}
-	}
-	return false
 }
 
 // DMSchedulable applies Eq. 16 (in the selected variant) across a

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"profirt/internal/timeunit"
 )
@@ -62,11 +63,24 @@ func EDFResponseTimes(streams []Stream, tcycle Ticks, opts EDFOptions) []Ticks {
 		return out
 	}
 
+	sc := edfScratchPool.Get().(*edfScratch)
 	for i := range streams {
-		out[i] = edfMessageResponseOne(streams, i, tcycle, busy, opts, horizon)
+		out[i] = edfMessageResponseOne(streams, i, tcycle, busy, opts, horizon, sc)
 	}
+	sc.cands = sc.cands[:0]
+	edfScratchPool.Put(sc)
 	return out
 }
+
+// edfScratch holds the candidate-offset buffer reused across the
+// per-stream evaluations of one EDFResponseTimes call (and, via the
+// pool, across calls): candidate enumeration previously allocated a
+// map plus a slice per stream per call.
+type edfScratch struct {
+	cands []Ticks
+}
+
+var edfScratchPool = sync.Pool{New: func() any { return new(edfScratch) }}
 
 // edfMessageBusyPeriod bounds the window of release offsets worth
 // examining: least fixed point of
@@ -94,9 +108,10 @@ func edfMessageBusyPeriod(streams []Stream, tcycle, horizon Ticks) Ticks {
 
 // edfMessageCandidates enumerates the paper's Eq. 10 offsets adapted
 // with jitter: a ∈ ∪_j {k·T_j + D_j − D_i − J_j} ∪ {0}, clipped to
-// [0, limit].
-func edfMessageCandidates(streams []Stream, i int, limit Ticks) []Ticks {
-	set := map[Ticks]struct{}{0: {}}
+// [0, limit]. The result is sorted and duplicate-free, built in the
+// reusable buffer.
+func edfMessageCandidates(buf []Ticks, streams []Stream, i int, limit Ticks) []Ticks {
+	out := append(buf[:0], 0)
 	di := streams[i].D
 	for _, s := range streams {
 		base := s.D - di - s.J
@@ -106,22 +121,19 @@ func edfMessageCandidates(streams []Stream, i int, limit Ticks) []Ticks {
 				break
 			}
 			if a >= 0 {
-				set[a] = struct{}{}
+				out = append(out, a)
 			}
 		}
 	}
-	out := make([]Ticks, 0, len(set))
-	for a := range set {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
-	return out
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
-func edfMessageResponseOne(streams []Stream, i int, tcycle, busy Ticks, opts EDFOptions, horizon Ticks) Ticks {
+func edfMessageResponseOne(streams []Stream, i int, tcycle, busy Ticks, opts EDFOptions, horizon Ticks, sc *edfScratch) Ticks {
 	si := streams[i]
 	var best Ticks
-	for _, a := range edfMessageCandidates(streams, i, busy) {
+	sc.cands = edfMessageCandidates(sc.cands, streams, i, busy)
+	for _, a := range sc.cands {
 		adi := a + si.D
 
 		// Blocking: one stack-slot occupant with a later absolute

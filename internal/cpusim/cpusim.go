@@ -19,6 +19,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"profirt/internal/sched"
 	"profirt/internal/timeunit"
@@ -167,6 +168,35 @@ func (q *readyQueue) Pop() any {
 	return j
 }
 
+// runScratch is the reusable working state of one Run: release
+// cursors, the ready queue, the pending list, the RNG and a freelist
+// of job records. Run re-initialises every field it uses, so pooled
+// scratch can never leak state between runs; only Result.PerTask is
+// allocated fresh (it escapes to the caller).
+type runScratch struct {
+	next     []Ticks
+	firstJob []bool
+	pending  []*job
+	queue    readyQueue
+	free     []*job
+	rng      *rand.Rand
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// allocJob takes a record from the freelist (or the heap); every field
+// is assigned by the caller.
+func (sc *runScratch) allocJob() *job {
+	if n := len(sc.free); n > 0 {
+		j := sc.free[n-1]
+		sc.free = sc.free[:n-1]
+		return j
+	}
+	return new(job)
+}
+
+func (sc *runScratch) freeJob(j *job) { sc.free = append(sc.free, j) }
+
 // higherPriority reports whether a should run instead of b under the
 // policy's priority relation (used for preemption decisions).
 func higherPriority(pol Policy, a, b *job) bool {
@@ -196,19 +226,33 @@ func Run(ts sched.TaskSet, opt Options) (Result, error) {
 	if horizon <= 0 {
 		horizon = defaultSimHorizon(ts, opt.Offsets)
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	sc := scratchPool.Get().(*runScratch)
+	defer scratchPool.Put(sc)
+	if sc.rng == nil {
+		sc.rng = rand.New(rand.NewSource(opt.Seed))
+	} else {
+		sc.rng.Seed(opt.Seed)
+	}
+	rng := sc.rng
 
 	res := Result{PerTask: make([]TaskStats, len(ts)), Horizon: horizon}
-	next := make([]Ticks, len(ts)) // next nominal release per task
-	firstJob := make([]bool, len(ts))
+	if cap(sc.next) < len(ts) {
+		sc.next = make([]Ticks, len(ts))
+		sc.firstJob = make([]bool, len(ts))
+	}
+	next := sc.next[:len(ts)] // next nominal release per task
+	firstJob := sc.firstJob[:len(ts)]
 	for i := range next {
+		next[i] = 0
 		if len(opt.Offsets) > 0 {
 			next[i] = opt.Offsets[i]
 		}
 		firstJob[i] = true
 	}
 
-	queue := &readyQueue{edf: opt.Policy.edf()}
+	queue := &sc.queue
+	queue.jobs = queue.jobs[:0]
+	queue.edf = opt.Policy.edf()
 	var running *job
 	var runStart Ticks // when the running job last got the processor
 	var seq int64
@@ -234,7 +278,7 @@ func Run(ts sched.TaskSet, opt Options) (Result, error) {
 
 	// pending holds jittered jobs whose nominal release has passed but
 	// whose readiness is in the future.
-	var pending []*job
+	pending := sc.pending[:0]
 
 	nextReadiness := func() (Ticks, bool) {
 		t := timeunit.MaxTicks
@@ -265,7 +309,8 @@ func Run(ts sched.TaskSet, opt Options) (Result, error) {
 				nominal := next[i]
 				jit := jitterFor(i, firstJob[i])
 				firstJob[i] = false
-				j := &job{
+				j := sc.allocJob()
+				*j = job{
 					task:      i,
 					nominal:   nominal,
 					ready:     nominal + jit,
@@ -308,6 +353,7 @@ func Run(ts sched.TaskSet, opt Options) (Result, error) {
 		if at > j.deadline {
 			st.Missed++
 		}
+		sc.freeJob(j)
 	}
 
 	for now < horizon {
@@ -373,6 +419,7 @@ func Run(ts sched.TaskSet, opt Options) (Result, error) {
 		if horizon > j.deadline {
 			st.Missed++
 		}
+		sc.freeJob(j)
 	}
 	if running != nil {
 		censor(running)
@@ -383,6 +430,12 @@ func Run(ts sched.TaskSet, opt Options) (Result, error) {
 	for _, p := range pending {
 		censor(p)
 	}
+	// Park the (now job-free) pending list back in the scratch so its
+	// capacity survives; clear stale job pointers first.
+	clear(pending)
+	sc.pending = pending[:0]
+	clear(queue.jobs[:cap(queue.jobs)])
+	queue.jobs = queue.jobs[:0]
 	return res, nil
 }
 

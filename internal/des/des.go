@@ -3,10 +3,18 @@
 // sequence) and a run loop. The PROFIBUS network simulator is built on
 // it; keeping the engine generic also makes its scheduling semantics
 // independently testable.
+//
+// The calendar is a hand-rolled binary min-heap over event values, not
+// container/heap over pointers: the simulator schedules one event per
+// message release, bus cycle and token pass, so a per-event heap
+// allocation dominates the whole-suite allocation profile. For the same
+// reason events can carry a small value Payload dispatched through a
+// single engine-level handler instead of a per-event closure
+// (SchedulePayload), and an Engine can be wiped for reuse with Reset
+// while keeping its calendar capacity.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 
 	"profirt/internal/timeunit"
@@ -15,55 +23,76 @@ import (
 // Ticks aliases the shared time base.
 type Ticks = timeunit.Ticks
 
-// Event is a scheduled callback.
-type Event struct {
+// Payload is the value argument of a closure-free event: a small
+// bag of operands interpreted by the engine's dispatch handler (see
+// SetDispatch). Kind conventionally selects the handler branch; the
+// remaining fields are its operands.
+type Payload struct {
+	// A and B are two time-valued operands.
+	A, B Ticks
+	// X, Y and Z are three integer operands (typically indexes).
+	X, Y, Z int32
+	// Kind selects the dispatch branch; Flags carries boolean operands.
+	Kind, Flags uint8
+}
+
+// PayloadFunc handles payload events (see SetDispatch).
+type PayloadFunc func(p Payload)
+
+// event is a calendar entry. Exactly one of fn / payload-dispatch is
+// used: fn != nil runs the closure, otherwise the engine dispatch
+// handler receives p.
+type event struct {
 	at   Ticks
-	prio int
 	seq  int64
 	fn   func()
-	// cancelled events stay in the heap but are skipped on pop.
-	cancelled bool
+	p    Payload
+	prio int
+}
+
+// Handle identifies a scheduled event for cancellation. The zero value
+// is inert. Handles are values: they stay valid (and cheap) after the
+// event fires.
+type Handle struct {
+	e   *Engine
+	at  Ticks
+	seq int64
 }
 
 // Cancel marks the event so it will not fire. Safe to call more than
 // once; has no effect if the event already fired.
-func (e *Event) Cancel() { e.cancelled = true }
+func (h Handle) Cancel() {
+	if h.e == nil {
+		return
+	}
+	if h.e.cancelled == nil {
+		h.e.cancelled = make(map[int64]struct{})
+	}
+	h.e.cancelled[h.seq] = struct{}{}
+}
 
 // Cancelled reports whether Cancel was called.
-func (e *Event) Cancelled() bool { return e.cancelled }
+func (h Handle) Cancelled() bool {
+	if h.e == nil {
+		return false
+	}
+	_, ok := h.e.cancelled[h.seq]
+	return ok
+}
 
 // At returns the event's scheduled time.
-func (e *Event) At() Ticks { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return
-}
+func (h Handle) At() Ticks { return h.at }
 
 // Engine is the simulation core. The zero value is ready to use.
 type Engine struct {
-	now     Ticks
-	seq     int64
-	events  eventHeap
-	stopped bool
+	now    Ticks
+	seq    int64
+	events []event // binary min-heap by (at, prio, seq)
+	// cancelled holds the seq of every Cancel call; entries persist
+	// until Reset so Cancelled() keeps answering after the skip.
+	cancelled map[int64]struct{}
+	dispatch  PayloadFunc
+	stopped   bool
 	// Processed counts fired (non-cancelled) events.
 	Processed int64
 }
@@ -71,29 +100,54 @@ type Engine struct {
 // Now returns the current simulation time.
 func (e *Engine) Now() Ticks { return e.now }
 
+// SetDispatch installs the handler for payload events. It must be set
+// before the first SchedulePayload fires; one handler serves the whole
+// engine so scheduling an event allocates nothing.
+func (e *Engine) SetDispatch(fn PayloadFunc) { e.dispatch = fn }
+
 // Schedule enqueues fn to run at absolute time at with priority 0.
 // Events at the same instant fire in ascending priority then insertion
 // order. Scheduling in the past panics: it always indicates a modelling
 // bug.
-func (e *Engine) Schedule(at Ticks, fn func()) *Event {
+func (e *Engine) Schedule(at Ticks, fn func()) Handle {
 	return e.SchedulePrio(at, 0, fn)
 }
 
 // ScheduleAfter enqueues fn to run delay ticks from now.
-func (e *Engine) ScheduleAfter(delay Ticks, fn func()) *Event {
+func (e *Engine) ScheduleAfter(delay Ticks, fn func()) Handle {
 	return e.SchedulePrio(e.now+delay, 0, fn)
 }
 
 // SchedulePrio enqueues fn at an absolute time with an explicit
 // same-instant priority (lower fires first).
-func (e *Engine) SchedulePrio(at Ticks, prio int, fn func()) *Event {
+func (e *Engine) SchedulePrio(at Ticks, prio int, fn func()) Handle {
+	e.checkPast(at)
+	h := Handle{e: e, at: at, seq: e.seq}
+	e.push(event{at: at, prio: prio, seq: e.seq, fn: fn})
+	e.seq++
+	return h
+}
+
+// SchedulePayload enqueues a closure-free event at an absolute time
+// with an explicit same-instant priority. The engine dispatch handler
+// (SetDispatch) receives p when the event fires. It shares the
+// (time, priority, insertion sequence) order with closure events.
+func (e *Engine) SchedulePayload(at Ticks, prio int, p Payload) {
+	e.checkPast(at)
+	e.push(event{at: at, prio: prio, seq: e.seq, p: p})
+	e.seq++
+}
+
+// SchedulePayloadAfter enqueues a closure-free event delay ticks from
+// now with priority 0.
+func (e *Engine) SchedulePayloadAfter(delay Ticks, p Payload) {
+	e.SchedulePayload(e.now+delay, 0, p)
+}
+
+func (e *Engine) checkPast(at Ticks) {
 	if at < e.now {
 		panic(fmt.Sprintf("des: scheduling into the past (%d < %d)", at, e.now))
 	}
-	ev := &Event{at: at, prio: prio, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
 }
 
 // Stop makes Run return after the current event completes.
@@ -106,19 +160,27 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(horizon Ticks) Ticks {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.cancelled {
-			continue
+		ev := e.events[0]
+		if len(e.cancelled) > 0 {
+			if _, ok := e.cancelled[ev.seq]; ok {
+				e.pop()
+				continue
+			}
 		}
 		if ev.at >= horizon {
-			// Push back so a later Run with a larger horizon resumes.
-			heap.Push(&e.events, ev)
+			// Leave the event in place so a later Run with a larger
+			// horizon resumes.
 			e.now = horizon
 			return e.now
 		}
+		e.pop()
 		e.now = ev.at
 		e.Processed++
-		ev.fn()
+		if ev.fn != nil {
+			ev.fn()
+		} else {
+			e.dispatch(ev.p)
+		}
 	}
 	if e.now < horizon {
 		e.now = horizon
@@ -129,3 +191,67 @@ func (e *Engine) Run(horizon Ticks) Ticks {
 // Pending returns the number of not-yet-fired (possibly cancelled)
 // events in the calendar.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// Reset wipes the engine for reuse: time, sequence numbers, the
+// processed count and any pending or cancelled events are cleared while
+// the calendar's capacity (and the dispatch handler) are kept, so a
+// pooled simulator pays no per-run calendar allocations.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.Processed = 0
+	clear(e.events) // drop closure references before truncating
+	e.events = e.events[:0]
+	clear(e.cancelled)
+}
+
+// less orders the calendar by (time, priority, insertion sequence).
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[i], &e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+// pop removes the calendar minimum (the caller has already read it from
+// e.events[0]).
+func (e *Engine) pop() {
+	n := len(e.events) - 1
+	e.events[0] = e.events[n]
+	e.events[n] = event{} // drop the closure reference
+	e.events = e.events[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && e.less(r, l) {
+			child = r
+		}
+		if !e.less(child, i) {
+			break
+		}
+		e.events[i], e.events[child] = e.events[child], e.events[i]
+		i = child
+	}
+}

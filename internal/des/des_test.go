@@ -118,6 +118,70 @@ func TestEventAt(t *testing.T) {
 	}
 }
 
+func TestPayloadDispatchOrdering(t *testing.T) {
+	var e Engine
+	var got []Payload
+	e.SetDispatch(func(p Payload) { got = append(got, p) })
+	e.SchedulePayload(10, 0, Payload{Kind: 2, X: 2})
+	e.SchedulePayload(5, 0, Payload{Kind: 1, X: 1, A: 99})
+	e.SchedulePayload(10, -1, Payload{Kind: 3, X: 3}) // same instant, higher prio
+	e.Run(100)
+	if len(got) != 3 || got[0].X != 1 || got[1].X != 3 || got[2].X != 2 {
+		t.Errorf("payload order = %v, want X sequence 1,3,2", got)
+	}
+	if got[0].A != 99 || got[0].Kind != 1 {
+		t.Errorf("payload fields not carried: %+v", got[0])
+	}
+	if e.Processed != 3 {
+		t.Errorf("Processed = %d, want 3", e.Processed)
+	}
+}
+
+func TestPayloadAndClosureShareOrder(t *testing.T) {
+	var e Engine
+	var order []string
+	e.SetDispatch(func(p Payload) { order = append(order, "payload") })
+	e.Schedule(4, func() { order = append(order, "closure") })
+	e.SchedulePayload(4, 0, Payload{}) // same time, later insertion
+	e.Run(10)
+	if len(order) != 2 || order[0] != "closure" || order[1] != "payload" {
+		t.Errorf("order = %v, want [closure payload]", order)
+	}
+}
+
+func TestResetReuse(t *testing.T) {
+	run := func(e *Engine) []Ticks {
+		var log []Ticks
+		for i := 0; i < 100; i++ {
+			at := Ticks((i * 31) % 97)
+			e.Schedule(at, func() { log = append(log, e.Now()) })
+		}
+		e.Run(1000)
+		return log
+	}
+	var fresh Engine
+	want := run(&fresh)
+
+	var reused Engine
+	h := reused.Schedule(5, func() {})
+	h.Cancel()
+	run(&reused) // dirty the engine
+	reused.Reset()
+	if reused.Now() != 0 || reused.Pending() != 0 || reused.Processed != 0 {
+		t.Fatalf("Reset left state: now=%d pending=%d processed=%d",
+			reused.Now(), reused.Pending(), reused.Processed)
+	}
+	got := run(&reused)
+	if len(got) != len(want) {
+		t.Fatalf("lengths %d/%d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("reused engine diverged at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestManyEventsDeterministic(t *testing.T) {
 	run := func() []Ticks {
 		var e Engine

@@ -5,8 +5,10 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"profirt/internal/core"
 	"profirt/internal/memo"
 	"profirt/internal/stats"
 )
@@ -316,5 +318,45 @@ func TestForEachCellCoversAllCells(t *testing.T) {
 		if seq[i] != par[i] {
 			t.Fatalf("cell %d drew %d sequentially but %d in parallel", i, seq[i], par[i])
 		}
+	}
+}
+
+// TestCacheArmedOnExperimentsPath: any cache threaded through the
+// experiment fan-out must be armed with the hit-rate auto-disable
+// policy before key hashing starts, so a fan-out of all-distinct
+// analyses latches the cache off — with results identical to the
+// uncached analyses before, at and after the trip.
+func TestCacheArmedOnExperimentsPath(t *testing.T) {
+	cfg := Config{Seed: 3, Parallelism: 2, Cache: memo.New(0)}
+	const cells = 64
+	bad := make([]int32, cells)
+	forEachCell(cfg, "arm-test", cells, func(cell int, rng *rand.Rand) {
+		for i := 0; i < 16; i++ {
+			streams := make([]core.Stream, 5)
+			for k := range streams {
+				T := core.Ticks(50_000 + rng.Intn(200_000))
+				streams[k] = core.Stream{
+					Ch: core.Ticks(200 + rng.Intn(400)),
+					D:  T - core.Ticks(rng.Intn(10_000)),
+					T:  T,
+					J:  core.Ticks(rng.Intn(2_000)),
+				}
+			}
+			got := memo.DMResponseTimes(cfg.Cache, streams, 2_500, core.DMOptions{})
+			want := core.DMResponseTimes(streams, 2_500, core.DMOptions{})
+			for k := range want {
+				if got[k] != want[k] {
+					atomic.AddInt32(&bad[cell], 1)
+				}
+			}
+		}
+	})
+	for cell, n := range bad {
+		if n != 0 {
+			t.Fatalf("cell %d: %d cached results diverged from uncached", cell, n)
+		}
+	}
+	if !cfg.Cache.Disabled() {
+		t.Fatalf("all-distinct experiment fan-out did not trip the armed latch (stats %+v)", cfg.Cache.Stats())
 	}
 }

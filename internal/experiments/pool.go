@@ -38,10 +38,28 @@ func cellRNG(cfg Config, experimentID string, cell int) *rand.Rand {
 	return rand.New(rand.NewSource(cellSeed(cfg.Seed, experimentID, cell)))
 }
 
+// Auto-disable thresholds armed on any cache threaded into an
+// experiments run: most drivers analyse per-trial random stream sets,
+// so the hit rate on those grids is near zero and every lookup would
+// pay hashing plus a map probe for nothing. Once the cache has seen
+// cacheAutoDisableLookups lookups at a hit rate below
+// cacheAutoDisableHitRate it latches off and the wrappers bypass it
+// before any key work. Workloads with real reuse (repeated cells,
+// warm reruns, the holistic whole-result hits) clear the rate bar and
+// keep their cache.
+const (
+	cacheAutoDisableLookups = 512
+	cacheAutoDisableHitRate = 0.05
+)
+
 // runJobs is the pool entry shared by the cell and trial fan-outs: it
 // evaluates fn(i) for every i in [0, n) on the configured pool and
 // streams one ProgressEvent per completed job to cfg.Progress when set.
 func runJobs(cfg Config, experimentID string, n int, fn func(i int)) {
+	// Armed before the first job hashes a key; once-per-cache and
+	// never un-latching, so concurrent or repeated runs sharing one
+	// engine cache need no coordination.
+	cfg.Cache.ArmAutoDisableOnce(cacheAutoDisableLookups, cacheAutoDisableHitRate)
 	prog := cfg.Progress
 	if prog == nil {
 		pool.Do(cfg.Context, cfg.Pool, cfg.Parallelism, n, fn)

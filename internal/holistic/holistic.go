@@ -114,15 +114,29 @@ type Result struct {
 }
 
 // state carries the per-transaction fixed-point variables of one
-// master.
+// master, plus the scratch buffers stepMaster reuses every round (the
+// fixed point re-runs the host and bus analyses once per master per
+// round, so per-round allocations multiply).
 type state struct {
 	genResp []Ticks // R of the generation task (includes its jitter)
 	msgResp []Ticks // R of the message (Q + C, anchored at queueing)
 	delResp []Ticks // R of the delivery task (includes its jitter) = E
 	delJit  []Ticks // delivery release jitter = genResp + msgResp
+
+	host    sched.TaskSet // interleaved gen/del host tasks (2n)
+	ordered sched.TaskSet // host in DM order
+	rank    []int         // DM permutation buffer: position → host index
+	rs      []Ticks       // ResponseTimesFPInto output buffer
+	streams []core.Stream // bus-analysis stream view
+	msg     []Ticks       // FCFS message-bound buffer
 }
 
-// Analyze runs the holistic fixed point.
+// Analyze runs the holistic fixed point. With a cache configured, the
+// whole Result is additionally memoized on the full configuration
+// encoding (names included — they appear verbatim in the reports), so
+// sweeps that re-analyse identical configurations across cells, trials
+// or policies skip the fixed point entirely. Hits return a deep copy;
+// cached and uncached results are byte-identical.
 func Analyze(cfg Config) (Result, error) {
 	if err := validate(cfg); err != nil {
 		return Result{}, err
@@ -131,7 +145,65 @@ func Analyze(cfg Config) (Result, error) {
 	if maxIter <= 0 {
 		maxIter = 64
 	}
+	if cfg.Cache.Disabled() {
+		return analyze(cfg, maxIter), nil
+	}
+	e := memo.GetEnc()
+	defer memo.PutEnc(e)
+	encodeConfig(e, cfg, maxIter)
+	if v, tok, ok := cfg.Cache.LookupEncoded(memo.KindHolistic, e); ok {
+		return v.(Result).clone(), nil
+	} else {
+		res := analyze(cfg, maxIter)
+		cfg.Cache.StoreEncoded(tok, e, res.clone())
+		return res, nil
+	}
+}
 
+// encodeConfig writes the full analysed configuration in a fixed
+// traversal order: every field that can influence the Result,
+// including names (they surface in the per-transaction reports) and
+// the effective iteration cap.
+func encodeConfig(e *memo.Enc, cfg Config, maxIter int) {
+	e.Ticks(cfg.TTR)
+	e.Ticks(cfg.TokenPass)
+	e.Int(maxIter)
+	e.Int(len(cfg.Masters))
+	for _, m := range cfg.Masters {
+		e.String(m.Name)
+		e.Ticks(m.LongestLow)
+		e.Int(int(m.Dispatcher))
+		e.Int(len(m.Transactions))
+		for _, tr := range m.Transactions {
+			e.String(tr.Name)
+			g := tr.Generation
+			e.String(g.Name)
+			e.Ticks(g.C)
+			e.Ticks(g.D)
+			e.Ticks(g.T)
+			e.Ticks(g.J)
+			e.Ticks(g.B)
+			s := tr.Stream
+			e.String(s.Name)
+			e.Ticks(s.Ch)
+			e.Ticks(s.D)
+			e.Ticks(s.T)
+			e.Ticks(s.J)
+			e.Ticks(tr.Delivery)
+			e.Ticks(tr.Deadline)
+		}
+	}
+}
+
+// clone deep-copies the result so cached values are never aliased by
+// callers (TransactionReport itself is all values).
+func (r Result) clone() Result {
+	r.Transactions = append([]TransactionReport(nil), r.Transactions...)
+	return r
+}
+
+// analyze is the fixed point proper, on a validated configuration.
+func analyze(cfg Config, maxIter int) Result {
 	// T_cycle does not depend on jitter; compute once.
 	net := core.Network{TTR: cfg.TTR, TokenPass: cfg.TokenPass}
 	for _, m := range cfg.Masters {
@@ -193,7 +265,7 @@ func Analyze(cfg Config) (Result, error) {
 			})
 		}
 	}
-	return res, nil
+	return res
 }
 
 func validate(cfg Config) error {
@@ -232,45 +304,69 @@ func stepMaster(m *MasterSpec, st *state, tc Ticks, cache *memo.Cache) bool {
 
 	// Host analysis: generation and delivery tasks under preemptive DM.
 	// The host set interleaves gen task x at index 2x and delivery task
-	// x at 2x+1 before sorting.
-	host := make(sched.TaskSet, 0, 2*n)
+	// x at 2x+1 before sorting, and the position mapping (instead of
+	// per-round formatted names and a lookup map) recovers each task's
+	// response from the DM-ordered result.
+	host := st.host[:0]
 	for x, tr := range m.Transactions {
-		g := tr.Generation
-		g.Name = fmt.Sprintf("gen/%d", x)
-		host = append(host, g)
-		d := sched.Task{
-			Name: fmt.Sprintf("del/%d", x),
-			C:    timeunit.Max(tr.Delivery, 1),
-			D:    tr.Deadline,
-			T:    tr.Generation.T,
-			J:    st.delJit[x],
+		host = append(host, tr.Generation)
+		host = append(host, sched.Task{
+			C: timeunit.Max(tr.Delivery, 1),
+			D: tr.Deadline,
+			T: tr.Generation.T,
+			J: st.delJit[x],
+		})
+	}
+	st.host = host
+	// Stable insertion sort by deadline into the rank mapping: starting
+	// from the identity permutation with strict-less comparisons
+	// reproduces sched.SortDM's sort.SliceStable order exactly.
+	if cap(st.rank) < 2*n {
+		st.rank = make([]int, 2*n)
+	}
+	perm := st.rank[:2*n]
+	for h := range perm {
+		perm[h] = h
+	}
+	for a := 1; a < 2*n; a++ {
+		b := a
+		for b > 0 && host[perm[b]].D < host[perm[b-1]].D {
+			perm[b], perm[b-1] = perm[b-1], perm[b]
+			b--
 		}
-		host = append(host, d)
 	}
-	ordered := sched.SortDM(host)
-	rs := sched.ResponseTimesFP(ordered, sched.FPOptions{Preemptive: true})
-	byName := make(map[string]Ticks, len(ordered))
-	for i, t := range ordered {
-		byName[t.Name] = rs[i]
+	ordered := st.ordered[:0]
+	for _, h := range perm {
+		ordered = append(ordered, host[h])
 	}
+	st.ordered = ordered
+	st.rs = sched.ResponseTimesFPInto(st.rs, ordered, sched.FPOptions{Preemptive: true})
 
+	// Recover per-host-task responses: one linear pass over perm fills
+	// both gen and del responses without a map (host task 2x is
+	// transaction x's generation, 2x+1 its delivery).
 	changed := false
-	newGen := make([]Ticks, n)
-	for x := range m.Transactions {
-		newGen[x] = byName[fmt.Sprintf("gen/%d", x)]
-		if newGen[x] != st.genResp[x] {
-			changed = true
+	for k, h := range perm {
+		r := st.rs[k]
+		x := h / 2
+		if h%2 == 0 {
+			if r != st.genResp[x] {
+				changed = true
+			}
+			st.genResp[x] = r
+		} else {
+			if r != st.delResp[x] {
+				changed = true
+			}
+			st.delResp[x] = r
 		}
-		st.genResp[x] = newGen[x]
-		r := byName[fmt.Sprintf("del/%d", x)]
-		if r != st.delResp[x] {
-			changed = true
-		}
-		st.delResp[x] = r
 	}
 
 	// Bus analysis with jitter inherited from the generation responses.
-	streams := make([]core.Stream, n)
+	if cap(st.streams) < n {
+		st.streams = make([]core.Stream, n)
+	}
+	streams := st.streams[:n]
 	for x, tr := range m.Transactions {
 		s := tr.Stream
 		s.T = tr.Generation.T
@@ -288,7 +384,10 @@ func stepMaster(m *MasterSpec, st *state, tc Ticks, cache *memo.Cache) bool {
 			BlockingFromLowPriority: m.LongestLow > 0,
 		})
 	default: // FCFS, Eq. 11: nh·T_cycle regardless of jitter
-		msg = make([]Ticks, n)
+		if cap(st.msg) < n {
+			st.msg = make([]Ticks, n)
+		}
+		msg = st.msg[:n]
 		for x := range streams {
 			msg[x] = timeunit.MulSat(Ticks(n), tc)
 		}

@@ -1,0 +1,88 @@
+package holistic
+
+import (
+	"reflect"
+	"testing"
+
+	"profirt/internal/ap"
+	"profirt/internal/memo"
+)
+
+// TestWholeResultMemo is the whole-result memoization contract: the
+// second Analyze of an identical configuration must be served from the
+// cache (one stored fixed point, one hit) and both the hit and the
+// miss must be byte-identical to the uncached analysis.
+func TestWholeResultMemo(t *testing.T) {
+	for _, pol := range []ap.Policy{ap.FCFS, ap.DM, ap.EDF} {
+		cfg := cellConfig(pol)
+		want, err := Analyze(cfg)
+		if err != nil {
+			t.Fatalf("%v: uncached: %v", pol, err)
+		}
+
+		cfg.Cache = memo.New(0)
+		miss, err := Analyze(cfg)
+		if err != nil {
+			t.Fatalf("%v: cached miss: %v", pol, err)
+		}
+		hitsAfterMiss := cfg.Cache.Stats().Hits
+		hit, err := Analyze(cfg)
+		if err != nil {
+			t.Fatalf("%v: cached hit: %v", pol, err)
+		}
+		if got := cfg.Cache.Stats().Hits; got <= hitsAfterMiss {
+			t.Errorf("%v: second Analyze did not hit the whole-result entry (hits %d -> %d)", pol, hitsAfterMiss, got)
+		}
+		if !reflect.DeepEqual(miss, want) {
+			t.Errorf("%v: cached miss diverged from uncached:\n%+v\nvs\n%+v", pol, miss, want)
+		}
+		if !reflect.DeepEqual(hit, want) {
+			t.Errorf("%v: cached hit diverged from uncached:\n%+v\nvs\n%+v", pol, hit, want)
+		}
+	}
+}
+
+// TestWholeResultMemoIsolation: a caller mutating a returned Result
+// must not corrupt the cached copy.
+func TestWholeResultMemoIsolation(t *testing.T) {
+	cfg := cellConfig(ap.DM)
+	cfg.Cache = memo.New(0)
+	first, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Transactions[0].Name = "clobbered"
+	first.Transactions[0].MessageResponse = -1
+
+	again, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Transactions[0].Name == "clobbered" || again.Transactions[0].MessageResponse == -1 {
+		t.Fatal("cached holistic Result aliased by a previous caller's mutation")
+	}
+}
+
+// TestWholeResultMemoKeysNames: configurations differing only in
+// report-visible names must not share an entry — the names surface
+// verbatim in the Result.
+func TestWholeResultMemoKeysNames(t *testing.T) {
+	cache := memo.New(0)
+	cfg := cellConfig(ap.DM)
+	cfg.Cache = cache
+	a, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cellConfig(ap.DM)
+	cfg2.Cache = cache
+	cfg2.Masters[0].Transactions[0].Name = "renamed"
+	b, err := Analyze(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Transactions[0].Name != "press" || b.Transactions[0].Name != "renamed" {
+		t.Fatalf("renamed configuration shared a cache entry: %q vs %q",
+			a.Transactions[0].Name, b.Transactions[0].Name)
+	}
+}

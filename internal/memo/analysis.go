@@ -14,11 +14,18 @@ import (
 // bypassed the same way — before any key is hashed — so an
 // all-distinct batch degrades to the uncached cost.
 //
+// Lookup order on the hot path: the cheap commutative FNV pre-hash is
+// computed first and checked against the counting pre-filter. A
+// guaranteed miss runs the analysis directly on the caller's stream
+// order (trivially byte-identical to the uncached call) and only then
+// canonicalizes once, to store the entry; SHA-256 and the sort run on
+// the lookup side only when the filter reports a possible hit.
+//
 // The FCFS bound (Eq. 11) is intentionally never cached: it is the
 // closed form nh·T_cycle, cheaper than a hash.
 
 // dmOptsWords flattens DMOptions into the key encoding.
-func dmOptsWords(o core.DMOptions) []uint64 {
+func dmOptsWords(o core.DMOptions) [2]uint64 {
 	var flags uint64
 	if o.Literal {
 		flags |= 1
@@ -26,16 +33,16 @@ func dmOptsWords(o core.DMOptions) []uint64 {
 	if o.BlockingFromLowPriority {
 		flags |= 2
 	}
-	return []uint64{flags, uint64(o.Horizon)}
+	return [2]uint64{flags, uint64(o.Horizon)}
 }
 
 // edfOptsWords flattens EDFOptions into the key encoding.
-func edfOptsWords(o core.EDFOptions) []uint64 {
+func edfOptsWords(o core.EDFOptions) [2]uint64 {
 	var flags uint64
 	if o.BlockingFromLowPriority {
 		flags |= 1
 	}
-	return []uint64{flags, uint64(o.Horizon)}
+	return [2]uint64{flags, uint64(o.Horizon)}
 }
 
 // unpermute maps canonical-order results back to the caller's stream
@@ -49,20 +56,54 @@ func unpermute(canonical []Ticks, perm []int) []Ticks {
 	return out
 }
 
+// cachedResponseTimes is the shared lookup/store flow behind the DM
+// and EDF wrappers. analyze must be the pure per-order analysis; it is
+// invoked on the caller's order for guaranteed misses and on the
+// canonical order otherwise (sound either way by the permutation-
+// equivariance argument in key.go).
+func cachedResponseTimes(c *Cache, kind Kind, streams []core.Stream, tcycle Ticks, opts []uint64, orderSensitive bool, analyze func([]core.Stream) []Ticks) []Ticks {
+	pre := streamSetPre(kind, tcycle, opts, streams)
+	if !c.mayContain(pre) {
+		// Guaranteed miss: no resident entry can match, so skip the
+		// sort and SHA-256 on the lookup side and return the direct
+		// result. The canonical permutation is still built once, to
+		// store the entry where permuted callers will find it.
+		c.countMiss()
+		res := analyze(streams)
+		sc := keyScratchPool.Get().(*keyScratch)
+		key := sc.build(kind, tcycle, opts, streams, orderSensitive)
+		stored := make([]Ticks, len(res))
+		for i, p := range sc.perm {
+			stored[p] = res[i]
+		}
+		keyScratchPool.Put(sc)
+		c.putPre(key, pre, stored)
+		return res
+	}
+	sc := keyScratchPool.Get().(*keyScratch)
+	key := sc.build(kind, tcycle, opts, streams, orderSensitive)
+	if v, ok := c.Get(key); ok {
+		out := unpermute(v.([]Ticks), sc.perm)
+		keyScratchPool.Put(sc)
+		return out
+	}
+	res := analyze(sc.canon)
+	out := unpermute(res, sc.perm)
+	keyScratchPool.Put(sc)
+	c.putPre(key, pre, res)
+	return out
+}
+
 // DMResponseTimes is core.DMResponseTimes memoized on c. Results are
 // byte-identical to the uncached call for every input (see
-// streamSetKey for why deadline ties are safe).
+// keyScratch.build for why deadline ties are safe).
 func DMResponseTimes(c *Cache, streams []core.Stream, tcycle Ticks, opts core.DMOptions) []Ticks {
 	if c.Disabled() || len(streams) == 0 {
 		return core.DMResponseTimes(streams, tcycle, opts)
 	}
-	key, canon, perm := streamSetKey(KindDM, tcycle, dmOptsWords(opts), streams, true)
-	if v, ok := c.Get(key); ok {
-		return unpermute(v.([]Ticks), perm)
-	}
-	res := core.DMResponseTimes(canon, tcycle, opts)
-	c.Put(key, res)
-	return unpermute(res, perm)
+	w := dmOptsWords(opts)
+	return cachedResponseTimes(c, KindDM, streams, tcycle, w[:], true,
+		func(ss []core.Stream) []Ticks { return core.DMResponseTimes(ss, tcycle, opts) })
 }
 
 // EDFResponseTimes is core.EDFResponseTimes memoized on c.
@@ -70,13 +111,9 @@ func EDFResponseTimes(c *Cache, streams []core.Stream, tcycle Ticks, opts core.E
 	if c.Disabled() || len(streams) == 0 {
 		return core.EDFResponseTimes(streams, tcycle, opts)
 	}
-	key, canon, perm := streamSetKey(KindEDF, tcycle, edfOptsWords(opts), streams, false)
-	if v, ok := c.Get(key); ok {
-		return unpermute(v.([]Ticks), perm)
-	}
-	res := core.EDFResponseTimes(canon, tcycle, opts)
-	c.Put(key, res)
-	return unpermute(res, perm)
+	w := edfOptsWords(opts)
+	return cachedResponseTimes(c, KindEDF, streams, tcycle, w[:], false,
+		func(ss []core.Stream) []Ticks { return core.EDFResponseTimes(ss, tcycle, opts) })
 }
 
 // DMSchedulable mirrors core.DMSchedulable with the per-master bounds

@@ -17,17 +17,26 @@
 // results freely. The cache is safe for concurrent use from any number
 // of goroutines: it is sharded, each shard behind its own RWMutex.
 //
+// Lookups are cheap even when they miss: a sharded counting filter
+// over 64-bit FNV-1a pre-hashes fronts the table, so a lookup whose
+// pre-hash has no resident entry is declared a miss before the
+// canonical ordering is built or the SHA-256 key is computed. Only
+// possible hits (and the occasional filter false positive) pay for
+// the cryptographic key.
+//
 // Memory is bounded: New(maxEntries) caps the total entry count
 // (default 1<<16 entries; a cached value is one []Ticks of the stream
 // count, so the default bound is a few MiB at typical set sizes). A
 // full shard evicts an arbitrary resident entry per insert —
 // random replacement, not LRU, because eviction only ever costs a
 // recomputation, never correctness, and random replacement needs no
-// per-hit bookkeeping on the hot read path.
+// per-hit bookkeeping on the hot read path. Each entry remembers its
+// pre-hash so eviction keeps the filter counts exact.
 package memo
 
 import (
 	"encoding/binary"
+	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -43,9 +52,25 @@ const shardCount = 64
 // defaultMaxEntries bounds a cache built with New(0).
 const defaultMaxEntries = 1 << 16
 
+// entry is one resident value plus the pre-hash it was registered
+// under in the counting filter (0 when inserted without one, via the
+// plain Put path; such entries are simply invisible to the filter and
+// at worst cost a recomputation).
+type entry struct {
+	v   any
+	pre uint64
+}
+
 type shard struct {
 	mu sync.RWMutex
-	m  map[Key]any
+	m  map[Key]entry
+}
+
+// preShard is one shard of the counting pre-filter: how many resident
+// entries were registered under each pre-hash.
+type preShard struct {
+	mu sync.RWMutex
+	m  map[uint64]int32
 }
 
 // Cache is a bounded, sharded, content-addressed result table.
@@ -57,14 +82,18 @@ type Cache struct {
 	hits        atomic.Int64
 	misses      atomic.Int64
 	evictions   atomic.Int64
-	// Hit-rate-aware auto-disable (SetAutoDisable): once lookups reach
-	// autoMinLookups with hits/lookups below autoMinHitRate, disabled
-	// latches and the analysis wrappers stop hashing keys entirely —
-	// an all-distinct batch then pays zero cache overhead.
-	autoMinLookups int64
-	autoMinHitRate float64
+	// Hit-rate-aware auto-disable (SetAutoDisable / ArmAutoDisableOnce):
+	// once lookups reach autoMinLookups with hits/lookups below
+	// autoMinHitRate, disabled latches and the analysis wrappers stop
+	// hashing keys entirely — an all-distinct batch then pays zero
+	// cache overhead. The thresholds are atomics so arming is safe
+	// while lookups are in flight; autoMinHitRate holds float64 bits.
+	autoMinLookups atomic.Int64
+	autoMinHitRate atomic.Uint64
+	armed          atomic.Bool
 	disabled       atomic.Bool
 	shards         [shardCount]shard
+	pre            [shardCount]preShard
 }
 
 // New builds a cache holding at most maxEntries results; maxEntries
@@ -79,13 +108,18 @@ func New(maxEntries int) *Cache {
 	}
 	c := &Cache{maxPerShard: per}
 	for i := range c.shards {
-		c.shards[i].m = make(map[Key]any)
+		c.shards[i].m = make(map[Key]entry)
+		c.pre[i].m = make(map[uint64]int32)
 	}
 	return c
 }
 
 func (c *Cache) shardFor(k Key) *shard {
 	return &c.shards[binary.LittleEndian.Uint64(k[:8])&(shardCount-1)]
+}
+
+func (c *Cache) preShardFor(p uint64) *preShard {
+	return &c.pre[p&(shardCount-1)]
 }
 
 // SetAutoDisable arms hit-rate-aware auto-disable: once the cache has
@@ -99,15 +133,34 @@ func (c *Cache) shardFor(k Key) *shard {
 //
 // minLookups <= 0 or minHitRate <= 0 disarms the policy (the default:
 // a cache built by New never self-disables). Reset re-arms a tripped
-// cache. Not safe to call concurrently with Get; configure before
-// sharing the cache.
+// cache, and so does SetAutoDisable itself — use ArmAutoDisableOnce
+// from shared chokepoints that must never un-trip a latch.
 func (c *Cache) SetAutoDisable(minLookups int64, minHitRate float64) {
 	if c == nil {
 		return
 	}
-	c.autoMinLookups = minLookups
-	c.autoMinHitRate = minHitRate
+	c.autoMinHitRate.Store(math.Float64bits(minHitRate))
+	c.autoMinLookups.Store(minLookups)
+	c.armed.Store(minLookups > 0 && minHitRate > 0)
 	c.disabled.Store(false)
+}
+
+// ArmAutoDisableOnce arms the hit-rate policy exactly once per cache:
+// the first caller installs the thresholds, every later call is a
+// no-op, and — unlike SetAutoDisable — a latch that has already
+// tripped stays tripped. It is safe to call concurrently with lookups
+// and with itself, so per-run chokepoints (the experiment pool arms
+// the engine-provided cache at the start of every fan-out) need no
+// external coordination. Thresholds <= 0 are ignored.
+func (c *Cache) ArmAutoDisableOnce(minLookups int64, minHitRate float64) {
+	if c == nil || minLookups <= 0 || minHitRate <= 0 {
+		return
+	}
+	if !c.armed.CompareAndSwap(false, true) {
+		return
+	}
+	c.autoMinHitRate.Store(math.Float64bits(minHitRate))
+	c.autoMinLookups.Store(minLookups)
 }
 
 // Disabled reports whether hit-rate-aware auto-disable has tripped.
@@ -117,16 +170,65 @@ func (c *Cache) Disabled() bool {
 	return c == nil || c.disabled.Load()
 }
 
-// noteLookup updates the auto-disable latch after a Get.
+// noteLookup updates the auto-disable latch after a lookup.
 func (c *Cache) noteLookup() {
-	if c.autoMinLookups <= 0 || c.autoMinHitRate <= 0 || c.disabled.Load() {
+	lookups := c.autoMinLookups.Load()
+	rate := math.Float64frombits(c.autoMinHitRate.Load())
+	if lookups <= 0 || rate <= 0 || c.disabled.Load() {
 		return
 	}
 	hits := c.hits.Load()
 	total := hits + c.misses.Load()
-	if total >= c.autoMinLookups && float64(hits) < c.autoMinHitRate*float64(total) {
+	if total >= lookups && float64(hits) < rate*float64(total) {
 		c.disabled.Store(true)
 	}
+}
+
+// mayContain consults the counting pre-filter: false means no resident
+// entry was registered under pre, so a lookup is a guaranteed miss and
+// the caller can skip building the canonical key. True only promises a
+// possible hit (the pre-hash is not collision-free and the filter is
+// updated outside the entry shard's lock, so both false positives and
+// transient false negatives occur; either way the SHA-256 keyed table
+// stays the source of truth and results are unaffected).
+func (c *Cache) mayContain(pre uint64) bool {
+	if c == nil {
+		return false
+	}
+	ps := c.preShardFor(pre)
+	ps.mu.RLock()
+	n := ps.m[pre]
+	ps.mu.RUnlock()
+	return n > 0
+}
+
+// countMiss records a lookup the pre-filter resolved as a guaranteed
+// miss, so the auto-disable policy observes the same lookup stream
+// whether or not a SHA key was ever computed.
+func (c *Cache) countMiss() {
+	if c == nil {
+		return
+	}
+	c.misses.Add(1)
+	c.noteLookup()
+}
+
+func (c *Cache) preInc(p uint64) {
+	ps := c.preShardFor(p)
+	ps.mu.Lock()
+	ps.m[p]++
+	ps.mu.Unlock()
+}
+
+func (c *Cache) preDec(p uint64) {
+	ps := c.preShardFor(p)
+	ps.mu.Lock()
+	if n := ps.m[p]; n <= 1 {
+		delete(ps.m, p)
+	} else {
+		ps.m[p] = n - 1
+	}
+	ps.mu.Unlock()
 }
 
 // Get returns the value stored under k. Values must be treated as
@@ -138,7 +240,7 @@ func (c *Cache) Get(k Key) (any, bool) {
 	}
 	s := c.shardFor(k)
 	s.mu.RLock()
-	v, ok := s.m[k]
+	e, ok := s.m[k]
 	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
@@ -146,28 +248,51 @@ func (c *Cache) Get(k Key) (any, bool) {
 		c.misses.Add(1)
 	}
 	c.noteLookup()
-	return v, ok
+	return e.v, ok
 }
 
 // Put stores v under k, evicting an arbitrary resident entry when the
 // shard is full. Concurrent Puts of the same key are benign: the key is
 // content-addressed, so every writer stores an equal value. Safe on a
-// nil receiver (no-op).
+// nil receiver (no-op). Entries stored this way are not registered in
+// the pre-filter; the filter-aware wrappers use putPre.
 func (c *Cache) Put(k Key, v any) {
+	c.putPre(k, 0, v)
+}
+
+// putPre stores v under k and keeps the counting pre-filter exact:
+// the new entry registers pre (0 = skip), a displaced registration —
+// the evicted victim's, or the replaced entry's when it differs — is
+// decremented.
+func (c *Cache) putPre(k Key, pre uint64, v any) {
 	if c == nil {
 		return
 	}
+	var dropped uint64
 	s := c.shardFor(k)
 	s.mu.Lock()
-	if _, resident := s.m[k]; !resident && len(s.m) >= c.maxPerShard {
-		for victim := range s.m {
+	old, resident := s.m[k]
+	if resident {
+		dropped = old.pre
+	} else if len(s.m) >= c.maxPerShard {
+		for victim, ve := range s.m {
 			delete(s.m, victim)
 			c.evictions.Add(1)
+			dropped = ve.pre
 			break
 		}
 	}
-	s.m[k] = v
+	s.m[k] = entry{v: v, pre: pre}
 	s.mu.Unlock()
+	if dropped == pre {
+		return
+	}
+	if dropped != 0 {
+		c.preDec(dropped)
+	}
+	if pre != 0 {
+		c.preInc(pre)
+	}
 }
 
 // Len returns the number of resident entries.
@@ -193,8 +318,12 @@ func (c *Cache) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		s.m = make(map[Key]any)
+		s.m = make(map[Key]entry)
 		s.mu.Unlock()
+		ps := &c.pre[i]
+		ps.mu.Lock()
+		ps.m = make(map[uint64]int32)
+		ps.mu.Unlock()
 	}
 	c.hits.Store(0)
 	c.misses.Store(0)
@@ -204,7 +333,8 @@ func (c *Cache) Reset() {
 
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
-	// Hits and Misses count Get outcomes.
+	// Hits and Misses count lookup outcomes (including guaranteed
+	// misses the pre-filter resolved without hashing).
 	Hits, Misses int64
 	// Evictions counts entries displaced by the memory bound.
 	Evictions int64

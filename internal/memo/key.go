@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"sort"
+	"sync"
 
 	"profirt/internal/core"
 	"profirt/internal/timeunit"
@@ -22,11 +23,66 @@ const (
 	KindDM Kind = 1
 	// KindEDF keys the Eqs. 17–18 EDF message RTA.
 	KindEDF Kind = 2
+	// KindHolistic keys whole holistic.Analyze results on the full
+	// configuration encoding (see Enc).
+	KindHolistic Kind = 3
+	// KindTopology keys whole topology.Analyze results on the full
+	// topology + options encoding.
+	KindTopology Kind = 4
 )
 
 // keyVersion is bumped whenever the canonical encoding or the analysed
 // semantics change, invalidating every previously computed address.
 const keyVersion = 1
+
+// preSeed is the pre-hash starting state (the FNV-1a 64-bit offset
+// basis, kept for familiarity — the mix rounds are not FNV).
+const preSeed = 14695981039346656037
+
+// mixWord folds one 64-bit word into the pre-hash state with a
+// multiply–xorshift round (splitmix64's finalizer structure): one
+// multiply per word where byte-wise FNV-1a needs eight, which matters
+// because the pre-hash runs on every lookup, hit or miss. The pre-hash
+// never leaves the process and never enters the SHA-256 key, so its
+// only quality bar is filter-grade dispersion.
+func mixWord(h, v uint64) uint64 {
+	h ^= v
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return h
+}
+
+// streamPre collapses one stream's attribute tuple into a single word
+// (names excluded, matching the canonical key encoding).
+func streamPre(s core.Stream) uint64 {
+	h := mixWord(preSeed, uint64(s.Ch))
+	h = mixWord(h, uint64(s.D))
+	h = mixWord(h, uint64(s.T))
+	return mixWord(h, uint64(s.J))
+}
+
+// streamSetPre is the non-cryptographic pre-hash of one analysis
+// invocation: mix rounds over the order-dependent header (kind,
+// tcycle, opts) combined with a commutative sum over the stream
+// multiset, so every ordering of the same streams maps to the same
+// pre-hash without sorting. The DM ordered fallback (see streamSetKey)
+// produces a different canonical key for the same pre-hash; that is
+// only a false positive in the pre-filter, which SHA-256 then
+// arbitrates.
+func streamSetPre(kind Kind, tcycle Ticks, opts []uint64, streams []core.Stream) uint64 {
+	h := mixWord(preSeed, uint64(kind))
+	h = mixWord(h, uint64(tcycle))
+	h = mixWord(h, uint64(len(opts)))
+	for _, o := range opts {
+		h = mixWord(h, o)
+	}
+	h = mixWord(h, uint64(len(streams)))
+	var set uint64
+	for _, s := range streams {
+		set += streamPre(s)
+	}
+	return mixWord(h, set)
+}
 
 // streamLess is the canonical total preorder on normalized streams:
 // (D, T, Ch, J) lexicographically. Names are excluded — they never
@@ -48,12 +104,24 @@ func sameTuple(a, b core.Stream) bool {
 	return a.Ch == b.Ch && a.D == b.D && a.T == b.T && a.J == b.J
 }
 
-// streamSetKey builds the content address for one (kind, tcycle, opts,
-// stream set) analysis invocation. It returns the key, the canonical
-// stream ordering the underlying analysis should run on (names
-// stripped), and perm with perm[i] = canonical position of caller
-// stream i, so cached canonical-order results map back to the caller's
-// order.
+// keyScratch carries the canonicalization and encoding buffers of one
+// wrapper invocation. Pooled: the wrappers run once per analysis call
+// on the batch hot path, and the index/canon/perm/encode allocations
+// used to dominate the cost of a lookup.
+type keyScratch struct {
+	idx   []int
+	perm  []int
+	canon []core.Stream
+	buf   []byte
+}
+
+var keyScratchPool = sync.Pool{New: func() any { return new(keyScratch) }}
+
+// build computes the content address for one (kind, tcycle, opts,
+// stream set) analysis invocation, leaving the canonical stream
+// ordering in sc.canon and the permutation in sc.perm with
+// perm[i] = canonical position of caller stream i, so cached
+// canonical-order results map back to the caller's order.
 //
 // The canonical ordering sorts streams by (D, T, Ch, J), making the
 // key order-insensitive: permuting the caller's streams yields the
@@ -72,9 +140,14 @@ func sameTuple(a, b core.Stream) bool {
 //
 // opts carries the flattened analysis options; kind-distinct layouts
 // may reuse word positions because kind itself is part of the digest.
-func streamSetKey(kind Kind, tcycle Ticks, opts []uint64, streams []core.Stream, orderSensitive bool) (Key, []core.Stream, []int) {
+func (sc *keyScratch) build(kind Kind, tcycle Ticks, opts []uint64, streams []core.Stream, orderSensitive bool) Key {
 	n := len(streams)
-	idx := make([]int, n)
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+		sc.perm = make([]int, n)
+		sc.canon = make([]core.Stream, n)
+	}
+	idx := sc.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -100,37 +173,44 @@ func streamSetKey(kind Kind, tcycle Ticks, opts []uint64, streams []core.Stream,
 		}
 	}
 
-	canon := make([]core.Stream, n)
-	perm := make([]int, n)
+	canon := sc.canon[:n]
+	perm := sc.perm[:n]
 	for pos, orig := range idx {
 		s := streams[orig]
 		s.Name = ""
 		canon[pos] = s
 		perm[orig] = pos
 	}
+	sc.canon, sc.perm = canon, perm
 
-	h := sha256.New()
-	var buf [8]byte
-	word := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
-	}
-	h.Write([]byte{keyVersion, byte(kind), flag(ordered)})
-	word(uint64(tcycle))
-	word(uint64(len(opts)))
+	// The digest byte stream is unchanged from the streaming sha256.New
+	// formulation; building it in the reusable buffer and hashing with
+	// sha256.Sum256 just removes the hash-state and Sum allocations.
+	buf := append(sc.buf[:0], keyVersion, byte(kind), flag(ordered))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(tcycle))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(opts)))
 	for _, o := range opts {
-		word(o)
+		buf = binary.LittleEndian.AppendUint64(buf, o)
 	}
-	word(uint64(n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
 	for _, s := range canon {
-		word(uint64(s.Ch))
-		word(uint64(s.D))
-		word(uint64(s.T))
-		word(uint64(s.J))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Ch))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.D))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.T))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.J))
 	}
-	var k Key
-	h.Sum(k[:0])
-	return k, canon, perm
+	sc.buf = buf
+	return sha256.Sum256(buf)
+}
+
+// streamSetKey is the standalone form of keyScratch.build for tests
+// and one-shot callers: it returns the key, the canonical stream
+// ordering the underlying analysis should run on (names stripped), and
+// the caller-to-canonical permutation.
+func streamSetKey(kind Kind, tcycle Ticks, opts []uint64, streams []core.Stream, orderSensitive bool) (Key, []core.Stream, []int) {
+	sc := new(keyScratch)
+	k := sc.build(kind, tcycle, opts, streams, orderSensitive)
+	return k, sc.canon, sc.perm
 }
 
 func flag(b bool) byte {

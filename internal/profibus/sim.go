@@ -2,6 +2,7 @@ package profibus
 
 import (
 	"math/rand"
+	"sync"
 
 	"profirt/internal/ap"
 	"profirt/internal/des"
@@ -26,20 +27,40 @@ const (
 	phaseLow                         // WHILE TTH>0 AND pending low
 )
 
+// Event kinds carried in des.Payload.Kind. Every simulator event is a
+// closure-free payload event dispatched through (*simulator).dispatch,
+// so scheduling allocates nothing on the hot path.
+const (
+	evArrival   = iota + 1 // X=master, Y=stream, A=nominal (ready = Now)
+	evToken                // X=master receiving the token
+	evCycleDone            // X=master, Y=stream, A=nominal, Z=retries, Flags
+	evGapDone              // X=master, Flags
+)
+
+// Payload flag bits for evCycleDone / evGapDone.
+const (
+	flagFailed  = 1 << iota // cycle abandoned after all retries
+	flagOverrun             // cycle started within TTH and finished beyond it
+)
+
 type masterState struct {
 	idx int
 	cfg MasterConfig
 
 	// apQueue holds high-priority requests when the paper's
-	// architecture is active (DM/EDF); nil under stock FCFS.
+	// architecture is active (DM/EDF); unused under stock FCFS.
 	apQueue *ap.Queue
 	// slot is the one-request stack queue under DM/EDF.
 	slot ap.StackSlot
 	// stackHigh is the stock FCFS high-priority stack queue
-	// (unbounded) used when Dispatcher == FCFS.
+	// (unbounded) used when Dispatcher == FCFS. Queues pop by
+	// advancing a head index instead of re-slicing, so the backing
+	// array keeps its full capacity across a pooled simulator's runs.
 	stackHigh []request
+	highHead  int
 	// stackLow is the FCFS low-priority queue (always stock).
 	stackLow []request
+	lowHead  int
 
 	// frames and worst-case cycle metadata per stream.
 	action   []fdl.Frame
@@ -53,8 +74,9 @@ type masterState struct {
 
 	// inflight is the request whose cycle currently occupies the bus,
 	// tracked so a horizon cut-off still censors it into the stats.
-	inflight *request
-	stats    MasterStats
+	inflight    request
+	hasInflight bool
+	stats       MasterStats
 
 	// GAP maintenance state: token visits seen, and the next address of
 	// the GAP (between this master and its successor) to poll.
@@ -62,11 +84,55 @@ type masterState struct {
 	nextGap byte
 }
 
+// reset re-arms the master for a new run, reusing queue and frame
+// storage. Every field is (re)assigned: a pooled simulator must not
+// leak state between runs.
+func (m *masterState) reset(idx int, mc MasterConfig) {
+	m.idx = idx
+	m.cfg = mc
+	if mc.Dispatcher != ap.FCFS {
+		if m.apQueue == nil {
+			m.apQueue = ap.NewQueue(mc.Dispatcher)
+		} else {
+			m.apQueue.Reset(mc.Dispatcher)
+		}
+	} else if m.apQueue != nil {
+		m.apQueue.Reset(mc.Dispatcher)
+	}
+	m.slot = ap.StackSlot{}
+	m.stackHigh = m.stackHigh[:0]
+	m.highHead = 0
+	m.stackLow = m.stackLow[:0]
+	m.lowHead = 0
+	n := len(mc.Streams)
+	if cap(m.action) < n {
+		m.action = make([]fdl.Frame, n)
+		m.response = make([]fdl.Frame, n)
+	}
+	m.action = m.action[:n]
+	m.response = m.response[:n]
+	for si, st := range mc.Streams {
+		m.action[si], m.response[si] = st.Frames(mc.Addr)
+	}
+	m.lastArrival = 0
+	m.firstArrival = true
+	m.tokenArrival = 0
+	m.tth = 0
+	m.phase = phaseFirstHigh
+	m.inflight = request{}
+	m.hasInflight = false
+	// PerStream escapes into the Result, so it is the one per-run
+	// allocation the master keeps.
+	m.stats = MasterStats{PerStream: make([]StreamStats, n)}
+	m.visits = 0
+	m.nextGap = 0
+}
+
 // highPending reports whether a high-priority request is available for
 // transmission (in the stack slot or FCFS stack queue).
 func (m *masterState) highPending() bool {
 	if m.cfg.Dispatcher == ap.FCFS {
-		return len(m.stackHigh) > 0
+		return m.highHead < len(m.stackHigh)
 	}
 	m.slot.Refill(m.apQueue)
 	return m.slot.Filled()
@@ -75,11 +141,15 @@ func (m *masterState) highPending() bool {
 // popHigh removes the next high-priority request.
 func (m *masterState) popHigh() (request, bool) {
 	if m.cfg.Dispatcher == ap.FCFS {
-		if len(m.stackHigh) == 0 {
+		if m.highHead >= len(m.stackHigh) {
 			return request{}, false
 		}
-		r := m.stackHigh[0]
-		m.stackHigh = m.stackHigh[1:]
+		r := m.stackHigh[m.highHead]
+		m.highHead++
+		if m.highHead == len(m.stackHigh) {
+			m.stackHigh = m.stackHigh[:0]
+			m.highHead = 0
+		}
 		return r, true
 	}
 	m.slot.Refill(m.apQueue)
@@ -94,9 +164,24 @@ type simulator struct {
 	cfg     Config
 	eng     des.Engine
 	rng     *rand.Rand
-	masters []*masterState
+	masters []masterState
 	tsdr    map[byte]Ticks
 	res     Result
+}
+
+// simPool recycles simulators across runs: the event calendar, queue
+// and frame storage, the RNG and the tsdr map survive, so a steady
+// state simulation allocates only what escapes into its Result.
+// (*simulator).reset re-arms every field, so pooled state can never
+// leak into another run's outcome — results stay a pure function of
+// the Config.
+var simPool = sync.Pool{
+	New: func() any {
+		s := &simulator{}
+		// One dispatch closure per pooled simulator, bound once.
+		s.eng.SetDispatch(s.dispatch)
+		return s
+	},
 }
 
 // Simulate runs the configured network and returns per-stream and
@@ -105,48 +190,97 @@ func Simulate(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	s := &simulator{
-		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
-		tsdr: map[byte]Ticks{},
-	}
-	for _, sl := range cfg.Slaves {
-		s.tsdr[sl.Addr] = sl.TSDR
-	}
-	s.res.Horizon = cfg.Horizon
-	s.res.PerMaster = make([]MasterStats, len(cfg.Masters))
-
-	for i, mc := range cfg.Masters {
-		m := &masterState{idx: i, cfg: mc, firstArrival: true}
-		if mc.Dispatcher != ap.FCFS {
-			m.apQueue = ap.NewQueue(mc.Dispatcher)
-		}
-		m.action = make([]fdl.Frame, len(mc.Streams))
-		m.response = make([]fdl.Frame, len(mc.Streams))
-		for si, st := range mc.Streams {
-			m.action[si], m.response[si] = st.Frames(mc.Addr)
-		}
-		m.stats.PerStream = make([]StreamStats, len(mc.Streams))
-		s.masters = append(s.masters, m)
-	}
+	s := simPool.Get().(*simulator)
+	s.reset(cfg)
 
 	// Schedule stream releases.
-	for _, m := range s.masters {
+	for i := range s.masters {
+		m := &s.masters[i]
 		for si := range m.cfg.Streams {
 			s.scheduleRelease(m, si, 0)
 		}
 	}
 
 	// Token starts at the first master at t = 0.
-	s.eng.Schedule(0, func() { s.onTokenArrival(s.masters[0]) })
+	s.eng.SchedulePayload(0, 0, des.Payload{Kind: evToken, X: 0})
 
 	s.eng.Run(cfg.Horizon)
 	s.censorPending()
 
-	for i, m := range s.masters {
-		s.res.PerMaster[i] = m.stats
+	for i := range s.masters {
+		s.res.PerMaster[i] = s.masters[i].stats
 	}
-	return s.res, nil
+	res := s.res
+	s.release()
+	simPool.Put(s)
+	return res, nil
+}
+
+// release drops every reference to caller- or result-owned memory
+// before the simulator returns to the pool, so pooling never pins a
+// Config or a returned Result.
+func (s *simulator) release() {
+	s.cfg = Config{}
+	s.res = Result{}
+	for i := range s.masters {
+		m := &s.masters[i]
+		m.cfg = MasterConfig{}
+		m.stats = MasterStats{}
+		m.inflight = request{}
+		m.stackHigh = m.stackHigh[:0]
+		m.highHead = 0
+		m.stackLow = m.stackLow[:0]
+		m.lowHead = 0
+	}
+}
+
+// reset re-arms the pooled simulator for cfg.
+func (s *simulator) reset(cfg Config) {
+	s.cfg = cfg
+	s.eng.Reset()
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		s.rng.Seed(cfg.Seed)
+	}
+	if s.tsdr == nil {
+		s.tsdr = make(map[byte]Ticks, len(cfg.Slaves))
+	} else {
+		clear(s.tsdr)
+	}
+	for _, sl := range cfg.Slaves {
+		s.tsdr[sl.Addr] = sl.TSDR
+	}
+	s.res = Result{
+		Horizon:   cfg.Horizon,
+		PerMaster: make([]MasterStats, len(cfg.Masters)),
+	}
+	if cap(s.masters) < len(cfg.Masters) {
+		s.masters = make([]masterState, len(cfg.Masters))
+	}
+	s.masters = s.masters[:len(cfg.Masters)]
+	for i := range s.masters {
+		s.masters[i].reset(i, cfg.Masters[i])
+	}
+}
+
+// dispatch routes payload events; it is the engine's single event
+// handler.
+func (s *simulator) dispatch(p des.Payload) {
+	switch p.Kind {
+	case evArrival:
+		s.onArrival(&s.masters[p.X], int(p.Y), p.A)
+	case evToken:
+		s.onTokenArrival(&s.masters[p.X])
+	case evCycleDone:
+		s.onCycleDone(&s.masters[p.X], int(p.Y), p.A, int64(p.Z), p.Flags)
+	case evGapDone:
+		m := &s.masters[p.X]
+		if p.Flags&flagOverrun != 0 {
+			m.stats.TTHOverruns++
+		}
+		s.step(m)
+	}
 }
 
 // scheduleRelease schedules the n-th release of a stream and recurses.
@@ -187,30 +321,36 @@ func (s *simulator) scheduleRelease(m *masterState, si int, n int64) {
 }
 
 // scheduleArrival enqueues the release event and recurses to the next
-// release of the stream.
+// release of the stream. Readiness is the event time itself, so the
+// payload only carries the nominal release.
 func (s *simulator) scheduleArrival(m *masterState, si int, n int64, nominal, ready Ticks) {
-	st := m.cfg.Streams[si]
-	s.eng.Schedule(ready, func() {
-		m.stats.PerStream[si].Released++
-		r := request{stream: si, nominal: nominal, ready: ready}
-		if st.High {
-			if m.cfg.Dispatcher == ap.FCFS {
-				m.stackHigh = append(m.stackHigh, r)
-			} else {
-				m.apQueue.Push(ap.Request{
-					Stream:      si,
-					Release:     nominal,
-					Ready:       ready,
-					RelDeadline: st.Deadline,
-					AbsDeadline: nominal + st.Deadline,
-				})
-				m.slot.Refill(m.apQueue)
-			}
-		} else {
-			m.stackLow = append(m.stackLow, r)
-		}
+	s.eng.SchedulePayload(ready, 0, des.Payload{
+		Kind: evArrival, X: int32(m.idx), Y: int32(si), A: nominal,
 	})
 	s.scheduleRelease(m, si, n+1)
+}
+
+// onArrival delivers a released request into the master's queues.
+func (s *simulator) onArrival(m *masterState, si int, nominal Ticks) {
+	ready := s.eng.Now()
+	st := m.cfg.Streams[si]
+	m.stats.PerStream[si].Released++
+	if st.High {
+		if m.cfg.Dispatcher == ap.FCFS {
+			m.stackHigh = append(m.stackHigh, request{stream: si, nominal: nominal, ready: ready})
+		} else {
+			m.apQueue.Push(ap.Request{
+				Stream:      si,
+				Release:     nominal,
+				Ready:       ready,
+				RelDeadline: st.Deadline,
+				AbsDeadline: nominal + st.Deadline,
+			})
+			m.slot.Refill(m.apQueue)
+		}
+	} else {
+		m.stackLow = append(m.stackLow, request{stream: si, nominal: nominal, ready: ready})
+	}
 }
 
 // onTokenArrival implements the paper's run-time listing at station k.
@@ -276,9 +416,13 @@ func (s *simulator) step(m *masterState) {
 		}
 		s.step(m)
 	case phaseLow:
-		if s.remainingTTH(m) > 0 && len(m.stackLow) > 0 {
-			r := m.stackLow[0]
-			m.stackLow = m.stackLow[1:]
+		if s.remainingTTH(m) > 0 && m.lowHead < len(m.stackLow) {
+			r := m.stackLow[m.lowHead]
+			m.lowHead++
+			if m.lowHead == len(m.stackLow) {
+				m.stackLow = m.stackLow[:0]
+				m.lowHead = 0
+			}
 			s.executeCycle(m, r, false)
 			return
 		}
@@ -287,7 +431,9 @@ func (s *simulator) step(m *masterState) {
 }
 
 // executeCycle transmits one message cycle (with fault-injected retries)
-// and schedules the completion event.
+// and schedules the completion event. The completion outcome (retries,
+// failure, TTH overrun) is fully determined here, so it travels in the
+// event payload instead of a closure.
 func (s *simulator) executeCycle(m *masterState, r request, high bool) {
 	st := m.cfg.Streams[r.stream]
 	bus := s.cfg.Bus
@@ -319,33 +465,50 @@ func (s *simulator) executeCycle(m *masterState, r request, high bool) {
 		m.stats.LowCycles++
 	}
 
-	m.inflight = &r
-	s.eng.ScheduleAfter(dur, func() {
-		m.inflight = nil
-		stats := &m.stats.PerStream[r.stream]
-		stats.Retries += int64(retries)
-		if remainingAtStart > 0 && dur > remainingAtStart {
-			m.stats.TTHOverruns++
-		}
-		if s.cfg.RecordTrace || st.Trace {
-			stats.Trace = append(stats.Trace,
-				CompletionRecord{Release: r.nominal, Completed: s.eng.Now(), Failed: failed})
-		}
-		if failed {
-			stats.Failed++
-		} else {
-			stats.Completed++
-			resp := s.eng.Now() - r.nominal
-			if resp > stats.WorstResponse {
-				stats.WorstResponse = resp
-			}
-			stats.TotalResponse += resp
-			if s.eng.Now() > r.nominal+st.Deadline {
-				stats.Missed++
-			}
-		}
-		s.step(m)
+	m.inflight = r
+	m.hasInflight = true
+	var flags uint8
+	if failed {
+		flags |= flagFailed
+	}
+	if remainingAtStart > 0 && dur > remainingAtStart {
+		flags |= flagOverrun
+	}
+	s.eng.SchedulePayloadAfter(dur, des.Payload{
+		Kind: evCycleDone, X: int32(m.idx), Y: int32(r.stream),
+		A: r.nominal, Z: int32(retries), Flags: flags,
 	})
+}
+
+// onCycleDone finishes a message cycle: stats, trace, deadline
+// accounting, then the next state-machine step.
+func (s *simulator) onCycleDone(m *masterState, stream int, nominal Ticks, retries int64, flags uint8) {
+	m.hasInflight = false
+	st := m.cfg.Streams[stream]
+	stats := &m.stats.PerStream[stream]
+	stats.Retries += retries
+	if flags&flagOverrun != 0 {
+		m.stats.TTHOverruns++
+	}
+	failed := flags&flagFailed != 0
+	if s.cfg.RecordTrace || st.Trace {
+		stats.Trace = append(stats.Trace,
+			CompletionRecord{Release: nominal, Completed: s.eng.Now(), Failed: failed})
+	}
+	if failed {
+		stats.Failed++
+	} else {
+		stats.Completed++
+		resp := s.eng.Now() - nominal
+		if resp > stats.WorstResponse {
+			stats.WorstResponse = resp
+		}
+		stats.TotalResponse += resp
+		if s.eng.Now() > nominal+st.Deadline {
+			stats.Missed++
+		}
+	}
+	s.step(m)
 }
 
 // executeGapPoll performs one FDL-Status request on the next GAP
@@ -377,27 +540,29 @@ func (s *simulator) executeGapPoll(m *masterState) {
 	}
 	remainingAtStart := s.remainingTTH(m)
 	m.stats.GapPolls++
-	s.eng.ScheduleAfter(dur, func() {
-		if remainingAtStart > 0 && dur > remainingAtStart {
-			m.stats.TTHOverruns++
-		}
-		s.step(m)
+	var flags uint8
+	if remainingAtStart > 0 && dur > remainingAtStart {
+		flags |= flagOverrun
+	}
+	s.eng.SchedulePayloadAfter(dur, des.Payload{
+		Kind: evGapDone, X: int32(m.idx), Flags: flags,
 	})
 }
 
 // passToken transmits the token frame to the ring successor.
 func (s *simulator) passToken(m *masterState) {
 	s.res.TokenPasses++
-	next := s.masters[(m.idx+1)%len(s.masters)]
-	s.eng.ScheduleAfter(s.cfg.Bus.TokenPassTicks(), func() {
-		s.onTokenArrival(next)
+	next := (m.idx + 1) % len(s.masters)
+	s.eng.SchedulePayloadAfter(s.cfg.Bus.TokenPassTicks(), des.Payload{
+		Kind: evToken, X: int32(next),
 	})
 }
 
 // censorPending accounts for requests still queued at the horizon.
 func (s *simulator) censorPending() {
 	h := s.cfg.Horizon
-	for _, m := range s.masters {
+	for i := range s.masters {
+		m := &s.masters[i]
 		censor := func(stream int, nominal Ticks) {
 			st := &m.stats.PerStream[stream]
 			st.Censored++
@@ -409,16 +574,16 @@ func (s *simulator) censorPending() {
 				st.Missed++
 			}
 		}
-		if m.inflight != nil {
+		if m.hasInflight {
 			censor(m.inflight.stream, m.inflight.nominal)
 		}
-		for _, r := range m.stackHigh {
+		for _, r := range m.stackHigh[m.highHead:] {
 			censor(r.stream, r.nominal)
 		}
-		for _, r := range m.stackLow {
+		for _, r := range m.stackLow[m.lowHead:] {
 			censor(r.stream, r.nominal)
 		}
-		if m.apQueue != nil {
+		if m.cfg.Dispatcher != ap.FCFS && m.apQueue != nil {
 			if r, ok := m.slot.Take(); ok {
 				censor(r.Stream, r.Release)
 			}

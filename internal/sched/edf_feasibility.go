@@ -1,7 +1,8 @@
 package sched
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"profirt/internal/timeunit"
 )
@@ -58,11 +59,19 @@ func SynchronousBusyPeriod(ts TaskSet, horizon Ticks) Ticks {
 	}
 }
 
+// ckptPool recycles checkpoint buffers across the demand-style tests:
+// the experiment sweeps run them once per generated task set, and the
+// checkpoint list is by far their largest allocation.
+var ckptPool = sync.Pool{New: func() any { return new(checkpointBuf) }}
+
+type checkpointBuf struct{ pts []Ticks }
+
 // deadlineCheckpoints enumerates the absolute-deadline instants
 // {k·Ti + Di − Ji : k ≥ 0} of every task in (0, limit], the only points
-// where the demand bound changes (paper Eq. 3's set S).
-func deadlineCheckpoints(ts TaskSet, limit Ticks) []Ticks {
-	var pts []Ticks
+// where the demand bound changes (paper Eq. 3's set S). The sorted,
+// duplicate-free list is built in the reusable buffer.
+func deadlineCheckpoints(buf []Ticks, ts TaskSet, limit Ticks) []Ticks {
+	pts := buf[:0]
 	for _, t := range ts {
 		first := t.D - t.J
 		if first < 0 {
@@ -77,17 +86,8 @@ func deadlineCheckpoints(ts TaskSet, limit Ticks) []Ticks {
 			}
 		}
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
-	// dedupe
-	out := pts[:0]
-	var prev Ticks = -1
-	for _, p := range pts {
-		if p != prev {
-			out = append(out, p)
-			prev = p
-		}
-	}
-	return out
+	slices.Sort(pts)
+	return slices.Compact(pts)
 }
 
 // FeasibilityReport carries the outcome of a demand-style feasibility
@@ -115,7 +115,10 @@ func EDFFeasiblePreemptive(ts TaskSet) FeasibilityReport {
 	}
 	limit := SynchronousBusyPeriod(ts, 0)
 	rep := FeasibilityReport{Feasible: true, Limit: limit}
-	for _, t := range deadlineCheckpoints(ts, limit) {
+	buf := ckptPool.Get().(*checkpointBuf)
+	defer ckptPool.Put(buf)
+	buf.pts = deadlineCheckpoints(buf.pts, ts, limit)
+	for _, t := range buf.pts {
 		rep.Checked++
 		if h := DemandBound(ts, t); h > t {
 			return FeasibilityReport{
@@ -148,7 +151,10 @@ func EDFFeasibleNonPreemptiveZS(ts TaskSet) FeasibilityReport {
 		}
 	}
 	rep := FeasibilityReport{Feasible: true, Limit: limit}
-	for _, t := range deadlineCheckpoints(ts, limit) {
+	buf := ckptPool.Get().(*checkpointBuf)
+	defer ckptPool.Put(buf)
+	buf.pts = deadlineCheckpoints(buf.pts, ts, limit)
+	for _, t := range buf.pts {
 		if t < minD {
 			continue
 		}
@@ -178,7 +184,10 @@ func EDFFeasibleNonPreemptiveGeorge(ts TaskSet) FeasibilityReport {
 	}
 	limit := SynchronousBusyPeriod(ts, 0)
 	rep := FeasibilityReport{Feasible: true, Limit: limit}
-	for _, t := range deadlineCheckpoints(ts, limit) {
+	buf := ckptPool.Get().(*checkpointBuf)
+	defer ckptPool.Put(buf)
+	buf.pts = deadlineCheckpoints(buf.pts, ts, limit)
+	for _, t := range buf.pts {
 		rep.Checked++
 		var blocking Ticks
 		for _, tk := range ts {

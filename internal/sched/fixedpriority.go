@@ -88,15 +88,23 @@ func defaultHorizon(ts TaskSet) Ticks {
 //
 // Tasks whose iteration exceeds the horizon get timeunit.MaxTicks.
 func ResponseTimesFP(ts TaskSet, opts FPOptions) []Ticks {
+	return ResponseTimesFPInto(make([]Ticks, 0, len(ts)), ts, opts)
+}
+
+// ResponseTimesFPInto is ResponseTimesFP writing into dst (reused from
+// length zero; grown as needed), for callers that run the analysis in a
+// loop — the holistic fixed point evaluates it once per master per
+// round.
+func ResponseTimesFPInto(dst []Ticks, ts TaskSet, opts FPOptions) []Ticks {
 	horizon := opts.Horizon
 	if horizon <= 0 {
 		horizon = defaultHorizon(ts)
 	}
-	out := make([]Ticks, len(ts))
+	dst = dst[:0]
 	for i := range ts {
-		out[i] = responseTimeFPOne(ts, i, opts.Preemptive, opts.LiteralPaperRecurrence, horizon)
+		dst = append(dst, responseTimeFPOne(ts, i, opts.Preemptive, opts.LiteralPaperRecurrence, horizon))
 	}
-	return out
+	return dst
 }
 
 func responseTimeFPOne(ts TaskSet, i int, preemptive, literal bool, horizon Ticks) Ticks {

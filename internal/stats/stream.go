@@ -53,11 +53,14 @@ func (r *RowStreamer) Emit(i int, cells ...any) {
 	row := formatRow(cells)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.pending == nil {
+		r.pending = make(map[int][]string)
+	}
 	r.pending[i] = row
 	for {
 		next, ok := r.pending[r.next]
 		if !ok {
-			return
+			break
 		}
 		delete(r.pending, r.next)
 		r.t.mu.Lock()
@@ -67,6 +70,12 @@ func (r *RowStreamer) Emit(i int, cells ...any) {
 			r.sink(RowEvent{Table: r.t, Index: r.next, Total: r.total, Cells: next})
 		}
 		r.next++
+	}
+	if r.next >= r.total {
+		// Fully drained: drop the buffer so a streamer that outlives
+		// its run (the drivers keep them alive as long as the tables)
+		// retains no row backing arrays or grown map buckets.
+		r.pending = nil
 	}
 }
 

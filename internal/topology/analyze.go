@@ -124,7 +124,88 @@ func Analyze(t Topology, opts Options) (Result, error) {
 	if maxIter <= 0 {
 		maxIter = 64
 	}
+	if opts.Cache.Disabled() {
+		return analyze(t, opts, maxIter), nil
+	}
+	// Whole-result memoization on the full topology + options encoding
+	// (names included — they appear verbatim in the reports): sweeps
+	// re-analysing identical topologies skip the fixed point entirely.
+	// Hits return a deep copy; results are byte-identical either way.
+	e := memo.GetEnc()
+	defer memo.PutEnc(e)
+	encodeTopology(e, t, opts, maxIter)
+	if v, tok, ok := opts.Cache.LookupEncoded(memo.KindTopology, e); ok {
+		return v.(Result).clone(), nil
+	} else {
+		res := analyze(t, opts, maxIter)
+		opts.Cache.StoreEncoded(tok, e, res.clone())
+		return res, nil
+	}
+}
 
+// encodeTopology writes every input that can influence the Result in a
+// fixed traversal order.
+func encodeTopology(e *memo.Enc, t Topology, opts Options, maxIter int) {
+	e.Int(maxIter)
+	e.Bool(opts.DM.Literal)
+	e.Bool(opts.DM.BlockingFromLowPriority)
+	e.Ticks(opts.DM.Horizon)
+	e.Bool(opts.EDF.BlockingFromLowPriority)
+	e.Ticks(opts.EDF.Horizon)
+	e.Int(len(t.Segments))
+	for _, s := range t.Segments {
+		e.String(s.Name)
+		e.Int(int(s.Dispatcher))
+		e.Ticks(s.Net.TTR)
+		e.Ticks(s.Net.TokenPass)
+		e.Ticks(s.Net.GapPoll)
+		e.Int(len(s.Net.Masters))
+		for _, m := range s.Net.Masters {
+			e.String(m.Name)
+			e.Ticks(m.LongestLow)
+			e.Int(len(m.High))
+			for _, hs := range m.High {
+				e.String(hs.Name)
+				e.Ticks(hs.Ch)
+				e.Ticks(hs.D)
+				e.Ticks(hs.T)
+				e.Ticks(hs.J)
+			}
+		}
+	}
+	e.Int(len(t.Bridges))
+	for _, b := range t.Bridges {
+		e.String(b.Name)
+		e.String(b.From)
+		e.String(b.To)
+		e.Ticks(b.Latency)
+		e.Int(len(b.Relays))
+		for _, r := range b.Relays {
+			e.String(r.Name)
+			e.String(r.FromStream)
+			e.String(r.ToStream)
+			e.Ticks(r.Deadline)
+		}
+	}
+}
+
+// clone deep-copies the result so cached values are never aliased by
+// callers (verdict and relay entries are all values).
+func (r Result) clone() Result {
+	if r.Segments != nil {
+		segs := make([]SegmentReport, len(r.Segments))
+		for i, s := range r.Segments {
+			s.Verdicts = append([]core.StreamVerdict(nil), s.Verdicts...)
+			segs[i] = s
+		}
+		r.Segments = segs
+	}
+	r.Relays = append([]RelayReport(nil), r.Relays...)
+	return r
+}
+
+// analyze is the jitter fixed point proper, on a validated topology.
+func analyze(t Topology, opts Options, maxIter int) Result {
 	relays := resolveRelays(t.Bridges, analyzeIndex(t))
 
 	// Working copies of every segment's high streams, so T and J
@@ -237,7 +318,7 @@ func Analyze(t Topology, opts Options) (Result, error) {
 		}
 		res.Relays = append(res.Relays, rr)
 	}
-	return res, nil
+	return res
 }
 
 // segmentResponses evaluates one master's high-priority response bounds

@@ -1,0 +1,60 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"profirt/internal/memo"
+)
+
+// TestWholeResultMemo: the second Analyze of an identical topology
+// must be served from the cache, and hit, miss and uncached results
+// must all be byte-identical.
+func TestWholeResultMemo(t *testing.T) {
+	top := analyticTopology(twoSegment(30_000))
+	want, err := Analyze(top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := Options{Cache: memo.New(0)}
+	miss, err := Analyze(top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsAfterMiss := opts.Cache.Stats().Hits
+	hit, err := Analyze(top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opts.Cache.Stats().Hits; got <= hitsAfterMiss {
+		t.Errorf("second Analyze did not hit the whole-result entry (hits %d -> %d)", hitsAfterMiss, got)
+	}
+	if !reflect.DeepEqual(miss, want) {
+		t.Errorf("cached miss diverged from uncached:\n%+v\nvs\n%+v", miss, want)
+	}
+	if !reflect.DeepEqual(hit, want) {
+		t.Errorf("cached hit diverged from uncached:\n%+v\nvs\n%+v", hit, want)
+	}
+}
+
+// TestWholeResultMemoIsolation: mutating a returned Result must not
+// corrupt the cached copy.
+func TestWholeResultMemoIsolation(t *testing.T) {
+	top := analyticTopology(twoSegment(30_000))
+	opts := Options{Cache: memo.New(0)}
+	first, err := Analyze(top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Segments[0].Verdicts[0].R = -1
+	first.Relays[0].Name = "clobbered"
+
+	again, err := Analyze(top, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Segments[0].Verdicts[0].R == -1 || again.Relays[0].Name == "clobbered" {
+		t.Fatal("cached topology Result aliased by a previous caller's mutation")
+	}
+}
