@@ -309,7 +309,12 @@ func benchEngineConcurrentCallers(b *testing.B, shared bool) {
 				defer wg.Done()
 				var out []profirt.SimBatchResult
 				if shared {
-					out = eng.SimulateBatch(context.Background(), cfgs, profirt.SimulateOptions{Seed: 5})
+					var err error
+					out, err = eng.SimulateBatch(context.Background(), cfgs, profirt.SimulateOptions{Seed: 5})
+					if err != nil {
+						b.Error(err)
+						return
+					}
 				} else {
 					// The internal batch runner with no shared pool: a
 					// per-call width-sized worker set, exactly the

@@ -42,7 +42,12 @@ func main() {
 	// straight off the model.
 	eng := profirt.NewEngine()
 	defer eng.Close()
-	verdicts := eng.AnalyzeNetworks(context.Background(), []profirt.Network{net}, profirt.AnalyzeOptions{})[0]
+	batch, err := eng.AnalyzeNetworks(context.Background(), []profirt.Network{net}, profirt.AnalyzeOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profisched: %v\n", err)
+		os.Exit(1)
+	}
+	verdicts := batch[0]
 	tables := analyse(net, verdicts)
 	for _, t := range tables {
 		if err := render(t, *format); err != nil {

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the server goroutine log to stderr while the test
+// reads it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startServer runs profiserve in-process on an ephemeral port and
+// returns its base URL, the cancel that stands in for SIGTERM, the
+// exit-code channel and the stderr buffer.
+func startServer(t *testing.T, extra ...string) (string, context.CancelFunc, chan int, *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	stderr := &syncBuffer{}
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { exit <- run(ctx, args, stderr) }()
+
+	// The banner "listening on http://HOST:PORT" appears once the
+	// socket is open.
+	deadline := time.Now().Add(10 * time.Second)
+	var url string
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stderr:\n%s", stderr.String())
+		}
+		for _, line := range strings.Split(stderr.String(), "\n") {
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				url = strings.TrimSpace(line[i+len("listening on "):])
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return url, cancel, exit, stderr
+}
+
+const testNetwork = `{
+  "ttr": 2000, "horizon": 200000,
+  "masters": [
+    {"addr": 1, "streams": [
+      {"name": "a", "slave": 30, "high": true, "period": 20000, "deadline": 15000},
+      {"name": "b", "slave": 30, "high": true, "period": 50000, "deadline": 40000}]}
+  ],
+  "slaves": [{"addr": 30, "tsdr": 30}]
+}`
+
+const testManifest = `{
+  "name": "profiserve-e2e",
+  "seed": 3,
+  "trials": 2,
+  "policies": ["fcfs", "dm"],
+  "deadlineScales": [1.0, 0.4],
+  "networks": [{"name": "cell", "network": ` + testNetwork + `}]
+}`
+
+// TestProfiserveEndToEnd drives the real binary's run() over a real
+// socket: analyze, stream a campaign, scrape metrics, then deliver
+// SIGTERM (ctx cancel) with a request in flight and require a clean
+// exit 0 after that request completes.
+func TestProfiserveEndToEnd(t *testing.T) {
+	url, cancel, exit, stderr := startServer(t, "-parallel", "2", "-drain-timeout", "2m")
+	defer cancel()
+
+	// Analyze.
+	body := `{"networks": [` + testNetwork + `]}`
+	resp, err := http.Post(url+"/v1/analyze/networks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d %s", resp.StatusCode, analyzed)
+	}
+	var out struct {
+		Results []struct {
+			Index int `json:"index"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(analyzed, &out); err != nil || len(out.Results) != 1 {
+		t.Fatalf("analyze response malformed: %v %s", err, analyzed)
+	}
+
+	// Streamed campaign: rows then done.
+	resp, err = http.Post(url+"/v1/campaign", "application/json",
+		strings.NewReader(`{"manifest": `+testManifest+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows, dones int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Type  string `json:"type"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "row":
+			rows++
+		case "done":
+			dones++
+		case "error":
+			t.Fatalf("campaign stream error: %s", ev.Error)
+		}
+	}
+	resp.Body.Close()
+	if rows == 0 || dones != 1 {
+		t.Fatalf("campaign stream: %d rows, %d done events", rows, dones)
+	}
+
+	// Metrics reflect the traffic.
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`profiserve_engine_op_calls_total{op="analyze_networks"} 1`,
+		`profiserve_engine_op_calls_total{op="run_campaign"} 1`,
+		"profiserve_pool_jobs_total",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// SIGTERM with a slow request in flight: the request must complete
+	// with a full result and the server must exit 0. The long horizon
+	// keeps the batch on the workers long enough for the test to watch
+	// it in /metrics before delivering the signal.
+	slowNetwork := strings.Replace(testNetwork, `"horizon": 200000`, `"horizon": 20000000`, 1)
+	slow := `{"networks": [` + strings.TrimSuffix(strings.Repeat(slowNetwork+",", 8), ",") + `]}`
+	type reply struct {
+		code int
+		body []byte
+		err  error
+	}
+	inFlight := make(chan reply, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/simulate/batch", "application/json", strings.NewReader(slow))
+		if err != nil {
+			inFlight <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		inFlight <- reply{code: resp.StatusCode, body: b, err: err}
+	}()
+	// Give the request a beat to reach the handler, then "SIGTERM".
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(scrape(t, url), "profiserve_server_active_requests 1") {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never became active")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	r := <-inFlight
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request got %d during drain: %s", r.code, r.body)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server never exited after SIGTERM; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Fatalf("drain never finished; stderr:\n%s", stderr.String())
+	}
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// TestProfiserveBadFlags: flag errors exit 2 without binding a socket.
+func TestProfiserveBadFlags(t *testing.T) {
+	stderr := &syncBuffer{}
+	if code := run(context.Background(), []string{"-bogus"}, stderr); code != 2 {
+		t.Fatalf("unknown flag: exit %d", code)
+	}
+	if code := run(context.Background(), []string{"extra"}, stderr); code != 2 {
+		t.Fatalf("stray argument: exit %d", code)
+	}
+}
+
+// TestProfiserveImmediateSigterm: SIGTERM with nothing in flight still
+// drains and exits 0.
+func TestProfiserveImmediateSigterm(t *testing.T) {
+	_, cancel, exit, stderr := startServer(t)
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr:\n%s", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server never exited; stderr:\n%s", stderr.String())
+	}
+}

@@ -120,6 +120,33 @@
 // existing code keeps compiling and even legacy callers now share one
 // bounded pool.
 //
+// The Engine has a defined lifecycle. Close drains: new calls are
+// rejected with ErrEngineClosed, in-flight calls run to completion,
+// and only then is the pool released — a call racing Close either
+// returns full results or ErrEngineClosed, never a panic or a partial
+// batch. Close is idempotent. Stats snapshots the shared machinery
+// (pool occupancy and queue depth, per-method call counters, cache
+// hits/misses/auto-disable, store size and compactions) at any time,
+// including after Close.
+//
+// # Serving the Engine
+//
+// cmd/profiserve wraps one shared Engine in an HTTP/JSON server
+// (implementation in internal/serve). Request bodies reuse the
+// internal/configfile JSON schemas verbatim; responses are
+// byte-identical to encoding a direct Engine call's results through
+// the same wire types, a property the serve load test holds under
+// hundreds of concurrent clients. Endpoints: /v1/analyze/networks,
+// /v1/analyze/topologies, /v1/simulate/batch, /v1/simulate/topology,
+// and /v1/campaign, which streams NDJSON — one "row" event per
+// finished table row in grid order, then a "done" event carrying the
+// assembled table. Request deadlines (a timeoutMs body field) and
+// client disconnects map to context cancellation; per-client
+// in-flight caps return 429; /metrics exports the Engine.Stats
+// snapshot plus the server's admission counters as Prometheus text or
+// JSON; SIGINT/SIGTERM drain gracefully (intake stops, in-flight
+// requests finish, the Engine closes, exit 0).
+//
 // # Performance
 //
 // The hot paths are allocation-flattened, and every reuse is pinned by

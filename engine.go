@@ -2,6 +2,7 @@ package profirt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,56 @@ type Engine struct {
 	store    *memo.Store
 	rowSink  func(stats.RowEvent)
 	progress func(EngineEvent)
+
+	// Lifecycle: method calls register with begin/end; Close flips
+	// closed under closeMu, then waits for registered calls to drain
+	// before releasing the pool. Methods on a closed Engine return
+	// ErrEngineClosed instead of reaching the pool (whose post-Close
+	// submission path panics — the shared-service failure mode this
+	// guards against).
+	closeMu  sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+	calls    atomic.Int64
+	ops      engineOps
+}
+
+// engineOps holds the per-method lifetime call counters behind
+// Stats().Ops.
+type engineOps struct {
+	analyzeNetworks   atomic.Int64
+	analyzeTopologies atomic.Int64
+	analyzeHolistic   atomic.Int64
+	simulate          atomic.Int64
+	simulateBatch     atomic.Int64
+	simulateTopology  atomic.Int64
+	runCampaign       atomic.Int64
+	runExperiments    atomic.Int64
+}
+
+// ErrEngineClosed is returned by every Engine method called after
+// Close: a long-lived service draining for shutdown rejects new work
+// with this sentinel while in-flight calls complete.
+var ErrEngineClosed = errors.New("profirt: engine is closed")
+
+// begin registers one method call with the Engine's lifecycle and
+// bumps its op counter; it fails with ErrEngineClosed once Close has
+// been called. Every successful begin is paired with a deferred end.
+func (e *Engine) begin(op *atomic.Int64) error {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	e.inflight.Add(1)
+	e.calls.Add(1)
+	op.Add(1)
+	return nil
+}
+
+func (e *Engine) end() {
+	e.calls.Add(-1)
+	e.inflight.Done()
 }
 
 // EngineEvent reports one settled unit of Engine work to the progress
@@ -138,13 +189,92 @@ func (e *Engine) Cache() *AnalysisCache { return e.cache }
 // run storeless).
 func (e *Engine) Store() *ResultStore { return e.store }
 
-// Close releases the Engine's worker goroutines after their current
-// jobs. In-flight method calls complete first; calling methods after
-// Close panics. The cache and store installed at construction are
-// caller-owned and stay open.
+// Close drains the Engine and releases its worker goroutines: new
+// method calls are rejected with ErrEngineClosed the moment Close is
+// entered, in-flight calls run to completion, and only then does the
+// pool shut down. Close blocks until the drain finishes, is safe to
+// call concurrently with method calls from any number of goroutines,
+// and is idempotent — a second Close returns nil immediately. The
+// cache and store installed at construction are caller-owned and stay
+// open.
 func (e *Engine) Close() error {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.closeMu.Unlock()
+	e.inflight.Wait()
 	e.pool.Close()
 	return nil
+}
+
+// EnginePoolStats re-exports the shared pool's occupancy/counter
+// snapshot (see pool.Stats).
+type EnginePoolStats = pool.Stats
+
+// EngineOpStats counts completed-or-in-flight calls of each Engine
+// method since construction.
+type EngineOpStats struct {
+	// AnalyzeNetworks .. RunExperiments mirror the method names.
+	AnalyzeNetworks   int64
+	AnalyzeTopologies int64
+	AnalyzeHolistic   int64
+	Simulate          int64
+	SimulateBatch     int64
+	SimulateTopology  int64
+	RunCampaign       int64
+	RunExperiments    int64
+}
+
+// EngineStats is a point-in-time snapshot of the Engine's shared
+// resources: pool occupancy and admission counters, per-method call
+// counters, and the cache/store counters when those resources are
+// installed (zero otherwise). It is what a serving front end exports
+// as its metrics (see internal/serve and cmd/profiserve).
+type EngineStats struct {
+	// Pool reports the shared worker pool: width, jobs executing at
+	// the snapshot instant (occupancy), admission-ring depth, and
+	// lifetime submission/job counters.
+	Pool EnginePoolStats
+	// InFlightCalls is the number of Engine method calls currently
+	// between begin and return.
+	InFlightCalls int64
+	// Ops counts calls per Engine method.
+	Ops EngineOpStats
+	// Cache snapshots the shared analysis cache (zero when disabled).
+	Cache AnalysisCacheStats
+	// Store snapshots the durable result store (zero when absent).
+	Store ResultStoreStats
+	// Closed reports whether Close has been called.
+	Closed bool
+}
+
+// Stats snapshots the Engine's pool, cache, store and call counters.
+// Safe to call from any goroutine at any time — including after Close,
+// so a draining server can export its final state.
+func (e *Engine) Stats() EngineStats {
+	e.closeMu.Lock()
+	closed := e.closed
+	e.closeMu.Unlock()
+	return EngineStats{
+		Pool:          e.pool.Stats(),
+		InFlightCalls: e.calls.Load(),
+		Ops: EngineOpStats{
+			AnalyzeNetworks:   e.ops.analyzeNetworks.Load(),
+			AnalyzeTopologies: e.ops.analyzeTopologies.Load(),
+			AnalyzeHolistic:   e.ops.analyzeHolistic.Load(),
+			Simulate:          e.ops.simulate.Load(),
+			SimulateBatch:     e.ops.simulateBatch.Load(),
+			SimulateTopology:  e.ops.simulateTopology.Load(),
+			RunCampaign:       e.ops.runCampaign.Load(),
+			RunExperiments:    e.ops.runExperiments.Load(),
+		},
+		Cache:  e.cache.Stats(),
+		Store:  e.store.Stats(),
+		Closed: closed,
+	}
 }
 
 // defaultEngine backs the legacy free functions (AnalyzeBatch,
@@ -188,9 +318,14 @@ type AnalyzeOptions struct {
 // analyses for many network configurations on the Engine's shared
 // pool. Results are returned in input order (out[i] describes nets[i])
 // and are byte-identical at any parallelism. Cancel via ctx to stop
-// early; networks not yet evaluated come back with Skipped set.
-func (e *Engine) AnalyzeNetworks(ctx context.Context, nets []Network, opts AnalyzeOptions) []BatchResult {
-	return e.analyzeNetworks(ctx, nets, opts.DM, opts.EDF, e.cache, 0)
+// early; networks not yet evaluated come back with Skipped set. The
+// only error is ErrEngineClosed, after Close.
+func (e *Engine) AnalyzeNetworks(ctx context.Context, nets []Network, opts AnalyzeOptions) ([]BatchResult, error) {
+	if err := e.begin(&e.ops.analyzeNetworks); err != nil {
+		return nil, err
+	}
+	defer e.end()
+	return e.analyzeNetworks(ctx, nets, opts.DM, opts.EDF, e.cache, 0), nil
 }
 
 // analyzeNetworks is the shared implementation behind AnalyzeNetworks
@@ -238,6 +373,10 @@ type TopologyAnalyzeOptions struct {
 // AnalyzeNetworks. It returns an error only for invalid options;
 // per-topology structural errors land in each result's Err field.
 func (e *Engine) AnalyzeTopologies(ctx context.Context, tops []Topology, opts TopologyAnalyzeOptions) ([]TopologyBatchResult, error) {
+	if err := e.begin(&e.ops.analyzeTopologies); err != nil {
+		return nil, err
+	}
+	defer e.end()
 	if opts.MaxIterations < 0 {
 		return nil, fmt.Errorf("profirt: AnalyzeTopologies: MaxIterations must be non-negative, got %d", opts.MaxIterations)
 	}
@@ -275,6 +414,10 @@ func (e *Engine) analyzeTopologies(ctx context.Context, tops []Topology, topts t
 // already set. The fixed point itself is a single sequential
 // computation; ctx is consulted before it starts.
 func (e *Engine) AnalyzeHolistic(ctx context.Context, cfg HolisticConfig) (HolisticResult, error) {
+	if err := e.begin(&e.ops.analyzeHolistic); err != nil {
+		return HolisticResult{}, err
+	}
+	defer e.end()
 	if ctx != nil && ctx.Err() != nil {
 		return HolisticResult{}, ctx.Err()
 	}
@@ -289,6 +432,10 @@ func (e *Engine) AnalyzeHolistic(ctx context.Context, cfg HolisticConfig) (Holis
 // goroutine; use SimulateBatch to fan independent runs across the
 // pool. ctx is consulted before the run starts.
 func (e *Engine) Simulate(ctx context.Context, cfg SimConfig) (SimResult, error) {
+	if err := e.begin(&e.ops.simulate); err != nil {
+		return SimResult{}, err
+	}
+	defer e.end()
 	if ctx != nil && ctx.Err() != nil {
 		return SimResult{}, ctx.Err()
 	}
@@ -313,8 +460,13 @@ type SimulateOptions struct {
 // Engine's shared pool. Results return in input order and are
 // byte-identical at any parallelism (per-run seed derivation, see
 // SimulateOptions.Seed). Cancel via ctx; runs not yet started come
-// back with Skipped set.
-func (e *Engine) SimulateBatch(ctx context.Context, cfgs []SimConfig, opts SimulateOptions) []SimBatchResult {
+// back with Skipped set. The only error is ErrEngineClosed, after
+// Close.
+func (e *Engine) SimulateBatch(ctx context.Context, cfgs []SimConfig, opts SimulateOptions) ([]SimBatchResult, error) {
+	if err := e.begin(&e.ops.simulateBatch); err != nil {
+		return nil, err
+	}
+	defer e.end()
 	onResult := opts.OnResult
 	if e.progress != nil {
 		var done atomic.Int64
@@ -332,7 +484,7 @@ func (e *Engine) SimulateBatch(ctx context.Context, cfgs []SimConfig, opts Simul
 		Seed:        opts.Seed,
 		ConfigSeeds: opts.ConfigSeeds,
 		OnResult:    onResult,
-	})
+	}), nil
 }
 
 // TopologySimulateOptions tunes Engine.SimulateTopology.
@@ -340,18 +492,29 @@ type TopologySimulateOptions struct {
 	// MaxRounds caps the bridge-exchange fixed point (0 selects the
 	// default: relay count + 2).
 	MaxRounds int
+	// OnRound, when non-nil, is called at each round barrier after that
+	// round's segment simulations complete, with the 1-based round
+	// number. It runs on the submitting goroutine between rounds.
+	OnRound func(round int)
 }
 
 // SimulateTopology runs the sharded multi-segment simulation with the
 // per-round segment shards executing on the Engine's shared pool.
-// Results are byte-identical at any parallelism. ctx is consulted
-// before the simulation starts (the round structure exchanges state at
-// barriers, so mid-run cancellation is not supported).
+// Results are byte-identical at any parallelism. Cancelling ctx stops
+// the bridge-exchange fixed point at the next round barrier and
+// returns ctx.Err(), so a dead client or an expired deadline costs at
+// most one round of segment simulations.
 func (e *Engine) SimulateTopology(ctx context.Context, t SimTopology, opts TopologySimulateOptions) (TopologySimResult, error) {
-	if ctx != nil && ctx.Err() != nil {
-		return TopologySimResult{}, ctx.Err()
+	if err := e.begin(&e.ops.simulateTopology); err != nil {
+		return TopologySimResult{}, err
 	}
-	return topology.Simulate(t, topology.SimOptions{Pool: e.pool, MaxRounds: opts.MaxRounds})
+	defer e.end()
+	return topology.Simulate(t, topology.SimOptions{
+		Pool:      e.pool,
+		Context:   ctx,
+		MaxRounds: opts.MaxRounds,
+		OnRound:   opts.OnRound,
+	})
 }
 
 // CampaignOptions tunes Engine.RunCampaign.
@@ -360,6 +523,11 @@ type CampaignOptions struct {
 	// newly executed jobs — the deterministic stand-in for kill -9 used
 	// by resume tests.
 	StopAfter int
+	// RowSink, when non-nil, overrides the Engine's WithRowSink for
+	// this call: finished table rows stream to it in grid order. A
+	// serving front end uses this to direct one request's rows at that
+	// request's response stream.
+	RowSink func(TableRowEvent)
 }
 
 // RunCampaign executes a compiled campaign on the Engine's shared
@@ -369,18 +537,26 @@ type CampaignOptions struct {
 // in grid order. The finished table is a pure function of the
 // manifest — independent of parallelism, interruptions and restores.
 func (e *Engine) RunCampaign(ctx context.Context, c *Campaign, opts CampaignOptions) (CampaignRunResult, error) {
+	if err := e.begin(&e.ops.runCampaign); err != nil {
+		return CampaignRunResult{}, err
+	}
+	defer e.end()
 	var progress func(CampaignEvent)
 	if e.progress != nil {
 		progress = func(ev CampaignEvent) {
 			e.progress(EngineEvent{Op: "campaign", Done: ev.Done, Total: ev.Total, Restored: ev.Restored})
 		}
 	}
+	rowSink := e.rowSink
+	if opts.RowSink != nil {
+		rowSink = opts.RowSink
+	}
 	return c.Run(campaign.RunOptions{
 		Pool:      e.pool,
 		Context:   ctx,
 		Store:     e.store,
 		Cache:     e.cache,
-		RowSink:   e.rowSink,
+		RowSink:   rowSink,
 		Progress:  progress,
 		StopAfter: opts.StopAfter,
 	})
@@ -421,6 +597,9 @@ type ExperimentOptions struct {
 	// into per-trial pool jobs; 0 selects the default (16), negative
 	// disables sharding.
 	TrialShardMin int
+	// RowSink, when non-nil, overrides the Engine's WithRowSink for
+	// this call: finished table rows stream to it in grid order.
+	RowSink func(TableRowEvent)
 }
 
 // ExperimentResult is one experiment's outcome.
@@ -445,6 +624,10 @@ var RenderTable = stats.Render
 // byte-identical at any parallelism. Cancelling ctx abandons cells not
 // yet dispatched, so the affected tables come back partial.
 func (e *Engine) RunExperiments(ctx context.Context, ids []string, opts ExperimentOptions) ([]ExperimentResult, error) {
+	if err := e.begin(&e.ops.runExperiments); err != nil {
+		return nil, err
+	}
+	defer e.end()
 	cfg := experiments.DefaultConfig()
 	if opts.Quick {
 		cfg = experiments.QuickConfig()
@@ -460,6 +643,9 @@ func (e *Engine) RunExperiments(ctx context.Context, ids []string, opts Experime
 	cfg.Context = ctx
 	cfg.Cache = e.cache
 	cfg.RowSink = e.rowSink
+	if opts.RowSink != nil {
+		cfg.RowSink = opts.RowSink
+	}
 	if e.progress != nil {
 		cfg.Progress = func(ev experiments.ProgressEvent) {
 			e.progress(EngineEvent{Op: ev.Experiment, Done: ev.Done, Total: ev.Total})

@@ -32,8 +32,11 @@ func TestEngineEquivalenceAnalyzeNetworks(t *testing.T) {
 	want := profirt.AnalyzeBatch(nets, profirt.BatchOptions{Parallelism: 1})
 	for _, p := range enginePar() {
 		eng := profirt.NewEngine(profirt.WithParallelism(p))
-		got := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{})
+		got, err := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{})
 		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("parallelism %d: Engine.AnalyzeNetworks diverged from legacy AnalyzeBatch", p)
 		}
@@ -42,8 +45,8 @@ func TestEngineEquivalenceAnalyzeNetworks(t *testing.T) {
 	// cache_equiv_test.go; here we assert the Engine wires it through).
 	eng := profirt.NewEngine(profirt.WithCache(profirt.NewAnalysisCache(0)))
 	defer eng.Close()
-	if got := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{}); !reflect.DeepEqual(got, want) {
-		t.Fatal("cached Engine.AnalyzeNetworks diverged")
+	if got, err := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{}); err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("cached Engine.AnalyzeNetworks diverged (err=%v)", err)
 	}
 	if eng.Cache().Stats().Misses == 0 {
 		t.Fatal("Engine cache never consulted")
@@ -122,8 +125,11 @@ func TestEngineEquivalenceSimulateBatch(t *testing.T) {
 	want := profirt.SimulateBatch(cfgs, profirt.SimBatchOptions{Parallelism: 1, Seed: 7})
 	for _, p := range enginePar() {
 		eng := profirt.NewEngine(profirt.WithParallelism(p))
-		got := eng.SimulateBatch(context.Background(), cfgs, profirt.SimulateOptions{Seed: 7})
+		got, err := eng.SimulateBatch(context.Background(), cfgs, profirt.SimulateOptions{Seed: 7})
 		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("parallelism %d: Engine.SimulateBatch diverged from legacy SimulateBatch", p)
 		}
@@ -249,13 +255,17 @@ func TestEngineSharedUseUnderConcurrency(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			if w%2 == 0 {
-				got := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{})
-				if !reflect.DeepEqual(got, wantNets) {
+				got, err := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{})
+				if err != nil {
+					errs[w] = err
+				} else if !reflect.DeepEqual(got, wantNets) {
 					errs[w] = fmt.Errorf("caller %d: analysis diverged under concurrency", w)
 				}
 			} else {
-				got := eng.SimulateBatch(context.Background(), cfgs, profirt.SimulateOptions{Seed: 3})
-				if !reflect.DeepEqual(got, wantSims) {
+				got, err := eng.SimulateBatch(context.Background(), cfgs, profirt.SimulateOptions{Seed: 3})
+				if err != nil {
+					errs[w] = err
+				} else if !reflect.DeepEqual(got, wantSims) {
 					errs[w] = fmt.Errorf("caller %d: simulation diverged under concurrency", w)
 				}
 			}
@@ -295,7 +305,11 @@ func TestEngineCancellationMarksSkipped(t *testing.T) {
 	cancel()
 	eng := profirt.NewEngine(profirt.WithParallelism(2))
 	defer eng.Close()
-	for i, r := range eng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{}) {
+	res, err := eng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
 		if !r.Skipped || r.Index != i {
 			t.Fatalf("result %d not marked skipped after pre-cancel: %+v", i, r)
 		}

@@ -52,11 +52,17 @@ func main() {
 	defer parEng.Close()
 
 	seqStart := time.Now()
-	seq := seqEng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
+	seq, err := seqEng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
 	seqDur := time.Since(seqStart)
 
 	parStart := time.Now()
-	par := parEng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
+	par, err := parEng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
 	parDur := time.Since(parStart)
 
 	for i := range seq {
@@ -94,7 +100,11 @@ func main() {
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
 	skipped := 0
-	for _, r := range parEng.AnalyzeNetworks(cancelled, nets, profirt.AnalyzeOptions{}) {
+	cancelledRes, err := parEng.AnalyzeNetworks(cancelled, nets, profirt.AnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range cancelledRes {
 		if r.Skipped {
 			skipped++
 		}

@@ -103,10 +103,16 @@ func main() {
 		cfgs = append(cfgs, j.Config)
 	}
 	seqEng := profirt.NewEngine(profirt.WithParallelism(1))
-	seq := seqEng.SimulateBatch(ctx, cfgs, profirt.SimulateOptions{Seed: 9})
+	seq, err := seqEng.SimulateBatch(ctx, cfgs, profirt.SimulateOptions{Seed: 9})
+	if err != nil {
+		panic(err)
+	}
 	seqEng.Close()
 	parEng := profirt.NewEngine(profirt.WithParallelism(runtime.GOMAXPROCS(0)))
-	par := parEng.SimulateBatch(ctx, cfgs, profirt.SimulateOptions{Seed: 9})
+	par, err := parEng.SimulateBatch(ctx, cfgs, profirt.SimulateOptions{Seed: 9})
+	if err != nil {
+		panic(err)
+	}
 	parEng.Close()
 	agree := true
 	for i := range seq {

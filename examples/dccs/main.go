@@ -31,7 +31,11 @@ func main() {
 	eng := profirt.NewEngine()
 	defer eng.Close()
 	ctx := context.Background()
-	analysis := eng.AnalyzeNetworks(ctx, []profirt.Network{net}, profirt.AnalyzeOptions{})[0]
+	analyses, err := eng.AnalyzeNetworks(ctx, []profirt.Network{net}, profirt.AnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	analysis := analyses[0]
 
 	type row struct {
 		policy   string

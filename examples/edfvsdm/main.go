@@ -45,7 +45,10 @@ func main() {
 
 	eng := profirt.NewEngine()
 	defer eng.Close()
-	results := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{})
+	results, err := eng.AnalyzeNetworks(context.Background(), nets, profirt.AnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
 
 	tc := nets[0].TokenCycle()
 	nh := profirt.Ticks(len(base))

@@ -75,7 +75,11 @@ func main() {
 	// AnalyzeNetworks evaluates FCFS, DM and EDF in one call; a slice
 	// of thousands of networks would fan out across the Engine's pool
 	// exactly the same way.
-	analysis := eng.AnalyzeNetworks(ctx, []profirt.Network{net}, profirt.AnalyzeOptions{})[0]
+	analyses, err := eng.AnalyzeNetworks(ctx, []profirt.Network{net}, profirt.AnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	analysis := analyses[0]
 	verdicts := analysis.DM.Verdicts
 	fmt.Printf("\nDM-schedulable: %v (FCFS: %v, EDF: %v)\n",
 		analysis.DM.Schedulable, analysis.FCFS.Schedulable, analysis.EDF.Schedulable)

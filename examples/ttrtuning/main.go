@@ -44,8 +44,14 @@ func main() {
 	eng := profirt.NewEngine()
 	defer eng.Close()
 	ctx := context.Background()
-	analyses := eng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
-	sims := eng.SimulateBatch(ctx, cfgs, profirt.SimulateOptions{ConfigSeeds: true})
+	analyses, err := eng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	sims, err := eng.SimulateBatch(ctx, cfgs, profirt.SimulateOptions{ConfigSeeds: true})
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("%-10s %-18s %-12s %-14s\n", "TTR", "Eq.12 verdict", "sim misses", "worst TRR/bound")
 	for i := range factors {

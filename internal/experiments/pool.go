@@ -42,11 +42,11 @@ func cellRNG(cfg Config, experimentID string, cell int) *rand.Rand {
 // experiments run: most drivers analyse per-trial random stream sets,
 // so the hit rate on those grids is near zero and every lookup would
 // pay hashing plus a map probe for nothing. Once the cache has seen
-// cacheAutoDisableLookups lookups at a hit rate below
-// cacheAutoDisableHitRate it latches off and the wrappers bypass it
-// before any key work. Workloads with real reuse (repeated cells,
-// warm reruns, the holistic whole-result hits) clear the rate bar and
-// keep their cache.
+// cacheAutoDisableLookups lookups of the current arming window at a
+// hit rate below cacheAutoDisableHitRate it latches off and the
+// wrappers bypass it before any key work. Workloads with real reuse
+// (repeated cells, warm reruns, the holistic whole-result hits) clear
+// the rate bar and keep their cache.
 const (
 	cacheAutoDisableLookups = 512
 	cacheAutoDisableHitRate = 0.05
@@ -56,10 +56,11 @@ const (
 // evaluates fn(i) for every i in [0, n) on the configured pool and
 // streams one ProgressEvent per completed job to cfg.Progress when set.
 func runJobs(cfg Config, experimentID string, n int, fn func(i int)) {
-	// Armed before the first job hashes a key; once-per-cache and
-	// never un-latching, so concurrent or repeated runs sharing one
-	// engine cache need no coordination.
-	cfg.Cache.ArmAutoDisableOnce(cacheAutoDisableLookups, cacheAutoDisableHitRate)
+	// Armed before the first job hashes a key. Arming is scoped per
+	// fan-out: each submission opens a fresh hit-rate window and clears
+	// any latch a previous cold sweep tripped, so a shared long-lived
+	// engine cache keeps serving hot submitters after a cold one.
+	cfg.Cache.ArmAutoDisable(cacheAutoDisableLookups, cacheAutoDisableHitRate)
 	prog := cfg.Progress
 	if prog == nil {
 		pool.Do(cfg.Context, cfg.Pool, cfg.Parallelism, n, fn)

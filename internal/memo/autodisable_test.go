@@ -110,3 +110,64 @@ func TestAutoDisableDefaultsOff(t *testing.T) {
 	}
 	nilCache.SetAutoDisable(1, 1) // must not panic
 }
+
+// TestAutoDisableRearmRestoresHotClient is the shared long-lived
+// Engine scenario: one cold all-distinct sweep trips the latch, and a
+// later hot submission — whose chokepoint re-arms the policy — must
+// regain cache hits from the still-resident entries, with every result
+// byte-identical to the uncached analysis throughout. Before the fix
+// the latch never un-tripped, so the first cold client permanently
+// killed caching for every later one.
+func TestAutoDisableRearmRestoresHotClient(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := New(0)
+
+	// Hot client warms the cache first (its own submission window).
+	c.ArmAutoDisable(20, 0.1)
+	hot := autoStreams(rng, 6)
+	for i := 0; i < 10; i++ {
+		got := DMResponseTimes(c, hot, 2_500, core.DMOptions{})
+		want := core.DMResponseTimes(hot, 2_500, core.DMOptions{})
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("warm-up %d: cached result diverged", i)
+			}
+		}
+	}
+	if c.Disabled() {
+		t.Fatal("hot warm-up tripped the latch")
+	}
+
+	// Cold client: all-distinct sweep in its own window trips the latch.
+	c.ArmAutoDisable(20, 0.1)
+	for i := 0; i < 200 && !c.Disabled(); i++ {
+		DMResponseTimes(c, autoStreams(rng, 6), 2_500, core.DMOptions{})
+	}
+	if !c.Disabled() {
+		t.Fatal("cold all-distinct sweep never tripped the latch")
+	}
+
+	// Hot client returns: its submission re-arms, and the repeated set
+	// must hit again.
+	c.ArmAutoDisable(20, 0.1)
+	if c.Disabled() {
+		t.Fatal("re-arm did not clear the latch")
+	}
+	before := c.Stats()
+	for i := 0; i < 50; i++ {
+		got := DMResponseTimes(c, hot, 2_500, core.DMOptions{})
+		want := core.DMResponseTimes(hot, 2_500, core.DMOptions{})
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("post-latch %d: cached result diverged", i)
+			}
+		}
+	}
+	after := c.Stats()
+	if c.Disabled() {
+		t.Fatal("hot post-latch workload re-tripped the latch")
+	}
+	if after.Hits <= before.Hits {
+		t.Fatalf("post-latch hot client regained no hits: %+v -> %+v", before, after)
+	}
+}

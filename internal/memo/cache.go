@@ -82,15 +82,21 @@ type Cache struct {
 	hits        atomic.Int64
 	misses      atomic.Int64
 	evictions   atomic.Int64
-	// Hit-rate-aware auto-disable (SetAutoDisable / ArmAutoDisableOnce):
-	// once lookups reach autoMinLookups with hits/lookups below
-	// autoMinHitRate, disabled latches and the analysis wrappers stop
-	// hashing keys entirely — an all-distinct batch then pays zero
-	// cache overhead. The thresholds are atomics so arming is safe
-	// while lookups are in flight; autoMinHitRate holds float64 bits.
+	// Hit-rate-aware auto-disable (SetAutoDisable / ArmAutoDisable):
+	// once the lookups of the current arming window reach
+	// autoMinLookups with hits/lookups below autoMinHitRate, disabled
+	// latches and the analysis wrappers stop hashing keys entirely —
+	// an all-distinct batch then pays zero cache overhead. The latch is
+	// scoped to the window, not the cache's lifetime: re-arming (each
+	// submission's chokepoint does) opens a fresh window and clears the
+	// latch, so one cold sweep through a shared long-lived cache cannot
+	// permanently kill caching for every later submitter. The
+	// thresholds are atomics so arming is safe while lookups are in
+	// flight; autoMinHitRate holds float64 bits.
 	autoMinLookups atomic.Int64
 	autoMinHitRate atomic.Uint64
-	armed          atomic.Bool
+	winHits        atomic.Int64
+	winMisses      atomic.Int64
 	disabled       atomic.Bool
 	shards         [shardCount]shard
 	pre            [shardCount]preShard
@@ -123,44 +129,50 @@ func (c *Cache) preShardFor(p uint64) *preShard {
 }
 
 // SetAutoDisable arms hit-rate-aware auto-disable: once the cache has
-// served at least minLookups Gets with a hit rate strictly below
-// minHitRate, it latches into a disabled state and the analysis
-// wrappers bypass it entirely — no key hashing, no map probes. This
-// turns the cache into a no-cost pass-through on all-distinct batches
-// (where every lookup is a guaranteed miss) while leaving repeated
-// batches untouched. Results are byte-identical either way: disabling
-// only ever trades a hit for a recomputation.
+// served at least minLookups Gets within the current arming window
+// with a hit rate strictly below minHitRate, it latches into a
+// disabled state and the analysis wrappers bypass it entirely — no key
+// hashing, no map probes. This turns the cache into a no-cost
+// pass-through on all-distinct batches (where every lookup is a
+// guaranteed miss) while leaving repeated batches untouched. Results
+// are byte-identical either way: disabling only ever trades a hit for
+// a recomputation.
 //
 // minLookups <= 0 or minHitRate <= 0 disarms the policy (the default:
-// a cache built by New never self-disables). Reset re-arms a tripped
-// cache, and so does SetAutoDisable itself — use ArmAutoDisableOnce
-// from shared chokepoints that must never un-trip a latch.
+// a cache built by New never self-disables). SetAutoDisable opens a
+// fresh window and clears a tripped latch, as do Reset and
+// ArmAutoDisable.
 func (c *Cache) SetAutoDisable(minLookups int64, minHitRate float64) {
 	if c == nil {
 		return
 	}
 	c.autoMinHitRate.Store(math.Float64bits(minHitRate))
 	c.autoMinLookups.Store(minLookups)
-	c.armed.Store(minLookups > 0 && minHitRate > 0)
+	c.winHits.Store(0)
+	c.winMisses.Store(0)
 	c.disabled.Store(false)
 }
 
-// ArmAutoDisableOnce arms the hit-rate policy exactly once per cache:
-// the first caller installs the thresholds, every later call is a
-// no-op, and — unlike SetAutoDisable — a latch that has already
-// tripped stays tripped. It is safe to call concurrently with lookups
-// and with itself, so per-run chokepoints (the experiment pool arms
-// the engine-provided cache at the start of every fan-out) need no
-// external coordination. Thresholds <= 0 are ignored.
-func (c *Cache) ArmAutoDisableOnce(minLookups int64, minHitRate float64) {
+// ArmAutoDisable arms the hit-rate policy for one submission's window:
+// it installs the thresholds, zeroes the window's hit/miss counters and
+// clears a tripped latch, so the policy judges each submission's
+// workload on its own lookups. This is the chokepoint form every
+// fan-out calls before its first key hash — on a shared long-lived
+// cache (one Engine serving many clients) a cold all-distinct sweep
+// trips the latch for the remainder of that sweep only; the next
+// submission re-arms and a hot workload regains its hits from the
+// still-resident entries. Safe to call concurrently with lookups and
+// with itself: a concurrent re-arm only restarts the window, never
+// changes results. Thresholds <= 0 are ignored.
+func (c *Cache) ArmAutoDisable(minLookups int64, minHitRate float64) {
 	if c == nil || minLookups <= 0 || minHitRate <= 0 {
-		return
-	}
-	if !c.armed.CompareAndSwap(false, true) {
 		return
 	}
 	c.autoMinHitRate.Store(math.Float64bits(minHitRate))
 	c.autoMinLookups.Store(minLookups)
+	c.winHits.Store(0)
+	c.winMisses.Store(0)
+	c.disabled.Store(false)
 }
 
 // Disabled reports whether hit-rate-aware auto-disable has tripped.
@@ -170,15 +182,24 @@ func (c *Cache) Disabled() bool {
 	return c == nil || c.disabled.Load()
 }
 
-// noteLookup updates the auto-disable latch after a lookup.
-func (c *Cache) noteLookup() {
+// noteLookup records one lookup outcome in the current arming window
+// and trips the latch when the window's lookups clear the threshold
+// with too few hits.
+func (c *Cache) noteLookup(hit bool) {
 	lookups := c.autoMinLookups.Load()
 	rate := math.Float64frombits(c.autoMinHitRate.Load())
 	if lookups <= 0 || rate <= 0 || c.disabled.Load() {
 		return
 	}
-	hits := c.hits.Load()
-	total := hits + c.misses.Load()
+	var hits, misses int64
+	if hit {
+		hits = c.winHits.Add(1)
+		misses = c.winMisses.Load()
+	} else {
+		misses = c.winMisses.Add(1)
+		hits = c.winHits.Load()
+	}
+	total := hits + misses
 	if total >= lookups && float64(hits) < rate*float64(total) {
 		c.disabled.Store(true)
 	}
@@ -210,7 +231,7 @@ func (c *Cache) countMiss() {
 		return
 	}
 	c.misses.Add(1)
-	c.noteLookup()
+	c.noteLookup(false)
 }
 
 func (c *Cache) preInc(p uint64) {
@@ -247,7 +268,7 @@ func (c *Cache) Get(k Key) (any, bool) {
 	} else {
 		c.misses.Add(1)
 	}
-	c.noteLookup()
+	c.noteLookup(ok)
 	return e.v, ok
 }
 
@@ -328,6 +349,8 @@ func (c *Cache) Reset() {
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
+	c.winHits.Store(0)
+	c.winMisses.Store(0)
 	c.disabled.Store(false)
 }
 

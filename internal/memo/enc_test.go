@@ -113,37 +113,38 @@ func TestPreFilterSurvivesEviction(t *testing.T) {
 	}
 }
 
-// TestArmAutoDisableOnce: first arm wins, later arms are no-ops, and a
-// tripped latch is never reset by re-arming (unlike SetAutoDisable).
-func TestArmAutoDisableOnce(t *testing.T) {
+// TestArmAutoDisableWindowScoped: arming opens a fresh hit-rate
+// window — a latch tripped by a cold all-distinct sweep clears on the
+// next submission's arm, so a shared long-lived cache keeps serving
+// later submitters.
+func TestArmAutoDisableWindowScoped(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	c := New(0)
-	c.ArmAutoDisableOnce(10, 0.5)
-	c.ArmAutoDisableOnce(1_000_000, 0.5) // must not raise the threshold
+	c.ArmAutoDisable(10, 0.5)
 	for i := 0; i < 50; i++ {
 		DMResponseTimes(c, autoStreams(rng, 4), 2_500, core.DMOptions{})
 	}
 	if !c.Disabled() {
 		t.Fatal("armed cache did not trip on an all-distinct workload")
 	}
-	c.ArmAutoDisableOnce(10, 0.5)
-	if !c.Disabled() {
-		t.Fatal("ArmAutoDisableOnce un-tripped the latch")
+	c.ArmAutoDisable(10, 0.5)
+	if c.Disabled() {
+		t.Fatal("re-arming did not clear the tripped latch")
 	}
-	// SetAutoDisable, by contrast, re-arms explicitly.
+	// SetAutoDisable re-arms the same way.
 	c.SetAutoDisable(10, 0.5)
 	if c.Disabled() {
 		t.Fatal("SetAutoDisable did not clear the latch")
 	}
 
 	var nilCache *Cache
-	nilCache.ArmAutoDisableOnce(1, 1) // must not panic
+	nilCache.ArmAutoDisable(1, 1) // must not panic
 }
 
-// TestArmAutoDisableOnceConcurrent arms from many goroutines while
+// TestArmAutoDisableConcurrent arms from many goroutines while
 // lookups are in flight; under -race this is the data-race gate for
-// the experiments-path arming chokepoint.
-func TestArmAutoDisableOnceConcurrent(t *testing.T) {
+// the per-submission arming chokepoint.
+func TestArmAutoDisableConcurrent(t *testing.T) {
 	c := New(0)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -151,8 +152,8 @@ func TestArmAutoDisableOnceConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
+			c.ArmAutoDisable(20, 0.1)
 			for i := 0; i < 100; i++ {
-				c.ArmAutoDisableOnce(20, 0.1)
 				DMResponseTimes(c, autoStreams(rng, 4), 2_500, core.DMOptions{})
 			}
 		}(g)

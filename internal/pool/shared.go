@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Shared is the long-lived counterpart of Run: a fixed set of worker
@@ -43,6 +44,73 @@ type Shared struct {
 	closed  bool
 	workers int
 	wg      sync.WaitGroup
+
+	// Occupancy gauges and lifetime counters behind Stats. The gauges
+	// (inFlight, active) are mutated only where the mutex is already
+	// held by the dispatch bookkeeping, so tracking them costs nothing
+	// extra; the counters are plain int64s under the same mutex. Inline
+	// submissions (limit 1, or re-entrant fallback) never touch the
+	// workers, so they are tallied separately with an atomic.
+	inFlight    int   // jobs executing on workers right now
+	active      int   // admitted submissions not yet settled
+	submissions int64 // total submissions admitted to the workers
+	jobs        int64 // total jobs executed on the workers
+	inline      atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of a Shared pool's occupancy and
+// lifetime counters (see Shared.Stats).
+type Stats struct {
+	// Workers is the pool width.
+	Workers int
+	// InFlight is the number of jobs executing on workers at the
+	// snapshot instant — the pool's occupancy, between 0 and Workers.
+	InFlight int
+	// QueueDepth is the number of submissions waiting in the admission
+	// ring at the snapshot instant (parked submissions — at their
+	// in-flight limit — are not in the ring and thus not counted).
+	QueueDepth int
+	// ActiveSubmissions counts RunContext calls admitted to the workers
+	// and not yet settled.
+	ActiveSubmissions int
+	// Submissions counts RunContext calls ever admitted to the workers.
+	Submissions int64
+	// InlineSubmissions counts calls that ran on their caller instead:
+	// sequential submissions (effective limit 1) and re-entrant
+	// fan-outs from a worker.
+	InlineSubmissions int64
+	// Jobs counts jobs executed on the workers since construction.
+	Jobs int64
+	// Closed reports whether Close has been called.
+	Closed bool
+}
+
+// Stats snapshots the pool's occupancy gauges and lifetime counters.
+// Safe to call from any goroutine at any time, including concurrently
+// with Close.
+func (s *Shared) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Workers:           s.workers,
+		InFlight:          s.inFlight,
+		QueueDepth:        len(s.queue),
+		ActiveSubmissions: s.active,
+		Submissions:       s.submissions,
+		Jobs:              s.jobs,
+		Closed:            s.closed,
+	}
+	s.mu.Unlock()
+	st.InlineSubmissions = s.inline.Load()
+	return st
+}
+
+// Closed reports whether Close has been called. A closed pool rejects
+// new submissions (RunContext panics; Engine-level callers gate with
+// their own sentinel before reaching it).
+func (s *Shared) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // submission is one RunContext call in flight on a Shared pool.
@@ -140,6 +208,7 @@ func (s *Shared) RunContext(ctx context.Context, limit, n int, fn func(i int)) {
 		limit = n
 	}
 	if limit <= 1 {
+		s.inline.Add(1)
 		for i := 0; i < n; i++ {
 			if ctx != nil && ctx.Err() != nil {
 				return
@@ -160,6 +229,7 @@ func (s *Shared) RunContext(ctx context.Context, limit, n int, fn func(i int)) {
 		// a worker on work only workers can run — a full pool of such
 		// jobs deadlocks. Fall back to a per-call pool, the pre-Shared
 		// behaviour for nested fan-out.
+		s.inline.Add(1)
 		RunContext(ctx, limit, n, fn)
 		return
 	}
@@ -171,6 +241,8 @@ func (s *Shared) RunContext(ctx context.Context, limit, n int, fn func(i int)) {
 	}
 	sub.queued = true
 	s.queue = append(s.queue, sub)
+	s.submissions++
+	s.active++
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-sub.done
@@ -222,6 +294,7 @@ func (s *Shared) take() (*submission, int, bool) {
 		idx := sub.next
 		sub.next++
 		sub.inflight++
+		s.inFlight++
 		if sub.hasWork() && sub.inflight < sub.limit {
 			sub.queued = true
 			s.queue = append(s.queue, sub)
@@ -240,6 +313,8 @@ func (s *Shared) exec(sub *submission, idx int) {
 		r := recover()
 		s.mu.Lock()
 		sub.inflight--
+		s.inFlight--
+		s.jobs++
 		if r != nil {
 			sub.stopped = true
 			if !sub.panicked {
@@ -252,6 +327,7 @@ func (s *Shared) exec(sub *submission, idx int) {
 		}
 		switch {
 		case sub.settled():
+			s.active--
 			close(sub.done)
 		case sub.hasWork() && !sub.queued:
 			sub.queued = true

@@ -220,3 +220,64 @@ func spin() {
 	}
 	_ = x
 }
+
+// TestSharedStats: the occupancy gauges and lifetime counters behind
+// Engine.Stats. Mid-fan-out the pool must report non-zero in-flight
+// jobs; once drained the gauges return to zero while the counters
+// retain the totals.
+func TestSharedStats(t *testing.T) {
+	s := NewShared(2)
+	defer s.Close()
+
+	if st := s.Stats(); st.Workers != 2 || st.InFlight != 0 || st.Jobs != 0 || st.Closed {
+		t.Fatalf("fresh pool stats: %+v", st)
+	}
+
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	var observed Stats
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.RunContext(context.Background(), 0, 4, func(i int) {
+			started <- struct{}{}
+			<-release
+		})
+	}()
+	// Wait until both workers hold a job, then snapshot occupancy.
+	<-started
+	<-started
+	observed = s.Stats()
+	close(release)
+	<-done
+
+	if observed.InFlight == 0 {
+		t.Fatalf("mid-fan-out occupancy was zero: %+v", observed)
+	}
+	if observed.ActiveSubmissions != 1 {
+		t.Fatalf("mid-fan-out active submissions = %d, want 1 (%+v)", observed.ActiveSubmissions, observed)
+	}
+
+	st := s.Stats()
+	if st.InFlight != 0 || st.ActiveSubmissions != 0 || st.QueueDepth != 0 {
+		t.Fatalf("drained pool still shows occupancy: %+v", st)
+	}
+	if st.Jobs != 4 || st.Submissions != 1 {
+		t.Fatalf("lifetime counters after one 4-job submission: %+v", st)
+	}
+
+	// Sequential submissions run inline and are tallied separately.
+	s.RunContext(context.Background(), 1, 3, func(int) {})
+	st = s.Stats()
+	if st.InlineSubmissions != 1 || st.Jobs != 4 {
+		t.Fatalf("inline submission accounting: %+v", st)
+	}
+
+	s.Close()
+	if st := s.Stats(); !st.Closed {
+		t.Fatalf("closed pool not reported: %+v", st)
+	}
+	if !s.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}

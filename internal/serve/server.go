@@ -1,0 +1,405 @@
+// Package serve exposes one shared profirt.Engine over HTTP/JSON: the
+// batch analyses, the simulators and the campaign runner as POST
+// endpoints whose bodies reuse the configfile schemas, plus /metrics
+// (Engine + server counters, Prometheus text or JSON) and /healthz.
+//
+// The server is a thin admission layer over the Engine's own sharing
+// machinery: every request becomes one Engine call, so concurrent
+// clients ride the shared pool's fair round-robin admission, request
+// deadlines (the envelope's timeoutMs) and client disconnects map to
+// context cancellation, and responses are byte-identical to direct
+// Engine calls at any load. A per-client in-flight cap (keyed by the
+// X-Client-ID header, else the client host) turns away floods with
+// 429 before they reach the pool.
+//
+// Campaign responses stream: one NDJSON StreamEvent line per table
+// row, released in grid order the moment the row's last job settles,
+// then a final "done" line with the assembled table.
+//
+// Graceful drain is owned by the caller (cmd/profiserve):
+// http.Server.Shutdown stops intake and waits for in-flight handlers,
+// then Engine.Close releases the pool; requests arriving after Close
+// get 503 ErrEngineClosed.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"profirt"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// MaxInFlightPerClient caps one client's concurrently served
+	// requests; excess requests get 429 immediately. 0 means no cap.
+	MaxInFlightPerClient int
+	// MaxBodyBytes caps request bodies (413 beyond it). 0 selects the
+	// default, 8 MiB.
+	MaxBodyBytes int64
+}
+
+// defaultMaxBodyBytes bounds request bodies when Options does not.
+const defaultMaxBodyBytes = 8 << 20
+
+// Server serves one Engine. Construct with New; safe for concurrent
+// use by any number of connections.
+type Server struct {
+	eng  *profirt.Engine
+	opts Options
+	mux  *http.ServeMux
+
+	mu        sync.Mutex
+	perClient map[string]int
+
+	active   atomic.Int64
+	requests atomic.Int64
+	rejected atomic.Int64
+}
+
+// New builds a Server over eng. The Engine is caller-owned: the
+// Server never closes it.
+func New(eng *profirt.Engine, opts Options) *Server {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &Server{eng: eng, opts: opts, perClient: make(map[string]int)}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/analyze/networks", s.endpoint(s.analyzeNetworks))
+	s.mux.HandleFunc("/v1/analyze/topologies", s.endpoint(s.analyzeTopologies))
+	s.mux.HandleFunc("/v1/simulate/batch", s.endpoint(s.simulateBatch))
+	s.mux.HandleFunc("/v1/simulate/topology", s.endpoint(s.simulateTopology))
+	s.mux.HandleFunc("/v1/campaign", s.endpoint(s.campaign))
+	s.mux.HandleFunc("/metrics", s.metrics)
+	s.mux.HandleFunc("/healthz", s.healthz)
+	return s
+}
+
+// Handler returns the Server's routing handler, ready for
+// http.Server.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// httpError carries a status code through a handler's error return.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// failf builds an httpError.
+func failf(code int, format string, args ...any) error {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusOf maps a handler error to its HTTP status: the Engine's
+// drain sentinel is 503 (retry elsewhere), an expired request
+// deadline is 504, a disconnected client 499 (never seen by anyone,
+// but keeps the access log honest), explicit httpErrors keep their
+// code, and anything else — malformed body, invalid configuration —
+// is the client's fault: 400.
+func statusOf(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.code
+	case errors.Is(err, profirt.ErrEngineClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writeError emits the JSON error body with its mapped status.
+func writeError(w http.ResponseWriter, err error) {
+	code := statusOf(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// clientKey identifies the requesting client for the in-flight cap:
+// the X-Client-ID header when present, else the connection's host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// admit registers one in-flight request for key; false means the
+// client is at its cap and the request must be turned away.
+func (s *Server) admit(key string) bool {
+	if s.opts.MaxInFlightPerClient <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.perClient[key] >= s.opts.MaxInFlightPerClient {
+		return false
+	}
+	s.perClient[key]++
+	return true
+}
+
+// release settles an admitted request.
+func (s *Server) release(key string) {
+	if s.opts.MaxInFlightPerClient <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.perClient[key] <= 1 {
+		delete(s.perClient, key)
+	} else {
+		s.perClient[key]--
+	}
+}
+
+// endpoint wraps one POST handler with the shared plumbing: method
+// check, per-client admission, body bound, request counters and error
+// mapping. The inner handler owns the success path (it writes the
+// response itself) and returns an error for every failure.
+func (s *Server) endpoint(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, failf(http.StatusMethodNotAllowed, "use POST"))
+			return
+		}
+		key := clientKey(r)
+		if !s.admit(key) {
+			s.rejected.Add(1)
+			writeError(w, failf(http.StatusTooManyRequests,
+				"client %q is at its in-flight cap (%d)", key, s.opts.MaxInFlightPerClient))
+			return
+		}
+		defer s.release(key)
+		s.active.Add(1)
+		defer s.active.Add(-1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		if err := h(w, r); err != nil {
+			writeError(w, err)
+		}
+	}
+}
+
+// decode unmarshals the request body into v with unknown fields
+// rejected, mapping an oversized body to 413.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return failf(http.StatusRequestEntityTooLarge, "request body over %d bytes", mbe.Limit)
+		}
+		return failf(http.StatusBadRequest, "decoding request: %v", err)
+	}
+	return nil
+}
+
+// workContext derives the request's work context: the connection
+// context (cancelled on client disconnect) bounded by the envelope's
+// timeoutMs when positive.
+func workContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if timeoutMs > 0 {
+		return context.WithTimeout(ctx, time.Duration(timeoutMs)*time.Millisecond)
+	}
+	return ctx, func() {}
+}
+
+// respond writes the success JSON body.
+func respond(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to send.
+		return nil
+	}
+	return nil
+}
+
+func (s *Server) analyzeNetworks(w http.ResponseWriter, r *http.Request) error {
+	var req AnalyzeNetworksRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	nets := make([]profirt.Network, len(req.Networks))
+	for i := range req.Networks {
+		net, _, err := req.Networks[i].Build()
+		if err != nil {
+			return failf(http.StatusBadRequest, "network %d: %v", i, err)
+		}
+		nets[i] = net
+	}
+	ctx, cancel := workContext(r, req.TimeoutMs)
+	defer cancel()
+	results, err := s.eng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		// The batch ran out of time: partial output (Skipped entries)
+		// would read as verdicts, so fail the request instead.
+		return err
+	}
+	return respond(w, AnalyzeNetworksResponse{Results: results})
+}
+
+func (s *Server) analyzeTopologies(w http.ResponseWriter, r *http.Request) error {
+	var req AnalyzeTopologiesRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	tops := make([]profirt.Topology, len(req.Topologies))
+	for i := range req.Topologies {
+		top, _, err := req.Topologies[i].Build()
+		if err != nil {
+			return failf(http.StatusBadRequest, "topology %d: %v", i, err)
+		}
+		tops[i] = top
+	}
+	ctx, cancel := workContext(r, req.TimeoutMs)
+	defer cancel()
+	results, err := s.eng.AnalyzeTopologies(ctx, tops, profirt.TopologyAnalyzeOptions{MaxIterations: req.MaxIterations})
+	if err != nil {
+		if errors.Is(err, profirt.ErrEngineClosed) {
+			return err
+		}
+		return failf(http.StatusBadRequest, "%v", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return respond(w, AnalyzeTopologiesResponse{Results: TopologyResults(results)})
+}
+
+func (s *Server) simulateBatch(w http.ResponseWriter, r *http.Request) error {
+	var req SimulateBatchRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	cfgs := make([]profirt.SimConfig, len(req.Networks))
+	for i := range req.Networks {
+		_, cfg, err := req.Networks[i].Build()
+		if err != nil {
+			return failf(http.StatusBadRequest, "network %d: %v", i, err)
+		}
+		cfgs[i] = cfg
+	}
+	ctx, cancel := workContext(r, req.TimeoutMs)
+	defer cancel()
+	results, err := s.eng.SimulateBatch(ctx, cfgs, profirt.SimulateOptions{
+		Seed:        req.Seed,
+		ConfigSeeds: req.ConfigSeeds,
+	})
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return respond(w, SimulateBatchResponse{Results: SimResults(results)})
+}
+
+func (s *Server) simulateTopology(w http.ResponseWriter, r *http.Request) error {
+	var req SimulateTopologyRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	_, sim, err := req.Topology.Build()
+	if err != nil {
+		return failf(http.StatusBadRequest, "topology: %v", err)
+	}
+	ctx, cancel := workContext(r, req.TimeoutMs)
+	defer cancel()
+	result, err := s.eng.SimulateTopology(ctx, sim, profirt.TopologySimulateOptions{MaxRounds: req.MaxRounds})
+	if err != nil {
+		// ctx errors (deadline, disconnect) surface here directly: the
+		// fixed point stops at the next round barrier.
+		if errors.Is(err, profirt.ErrEngineClosed) ||
+			errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return err
+		}
+		return failf(http.StatusBadRequest, "%v", err)
+	}
+	return respond(w, SimulateTopologyResponse{Result: result})
+}
+
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) error {
+	var req CampaignRequest
+	if err := decode(r, &req); err != nil {
+		return err
+	}
+	c, err := profirt.ParseCampaign(req.Manifest)
+	if err != nil {
+		return failf(http.StatusBadRequest, "manifest: %v", err)
+	}
+	ctx, cancel := workContext(r, req.TimeoutMs)
+	defer cancel()
+
+	// From here the response streams: status is committed before the
+	// campaign runs, so failures become "error" events on the stream.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var wmu sync.Mutex
+	emit := func(ev StreamEvent) {
+		// Row events arrive from pool worker goroutines (in grid order,
+		// serialized by the row streamer); the final event from the
+		// handler goroutine. One writer at a time either way.
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	res, err := s.eng.RunCampaign(ctx, c, profirt.CampaignOptions{
+		StopAfter: req.StopAfter,
+		RowSink: func(ev profirt.TableRowEvent) {
+			row := Row(ev)
+			emit(StreamEvent{Type: "row", Row: &row})
+		},
+	})
+	if err != nil {
+		emit(StreamEvent{Type: "error", Error: err.Error()})
+		return nil
+	}
+	emit(StreamEvent{Type: "done", Done: &CampaignDoneJSON{
+		Jobs:     res.Jobs,
+		Restored: res.Restored,
+		Executed: res.Executed,
+		Skipped:  res.Skipped,
+		Table:    res.Table.String(),
+	}})
+	return nil
+}
+
+// healthz reports liveness: 200 while the Engine accepts work, 503
+// once it is closed (draining or shut down).
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	if s.eng.Stats().Closed {
+		http.Error(w, "engine closed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"encoding/json"
+
+	"profirt"
+	"profirt/internal/configfile"
+)
+
+// The wire schema. Request bodies reuse the configfile JSON schemas —
+// a network description POSTed to the server is exactly the file
+// cmd/profisim reads — wrapped in a small envelope carrying the
+// per-request knobs. Responses re-encode the Engine's result types;
+// where a result carries a Go error (which does not marshal) the wire
+// form replaces it with its string. Every response is a pure function
+// of the request body: the server adds nothing nondeterministic, so a
+// served response is byte-identical to encoding a direct Engine call's
+// results through these same types (load_test.go holds that property
+// under hundreds of concurrent clients).
+
+// AnalyzeNetworksRequest is the body of POST /v1/analyze/networks.
+type AnalyzeNetworksRequest struct {
+	// Networks holds one configfile network description per entry.
+	Networks []configfile.File `json:"networks"`
+	// TimeoutMs, when positive, bounds the request: the work context
+	// is cancelled after that many milliseconds and the request fails
+	// with 504.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+}
+
+// AnalyzeNetworksResponse is its reply: results in input order.
+type AnalyzeNetworksResponse struct {
+	Results []profirt.BatchResult `json:"results"`
+}
+
+// AnalyzeTopologiesRequest is the body of POST /v1/analyze/topologies.
+type AnalyzeTopologiesRequest struct {
+	// Topologies holds one configfile topology description per entry.
+	Topologies []configfile.TopologyFile `json:"topologies"`
+	// MaxIterations caps each topology's cross-segment jitter fixed
+	// point (0 selects the engine default).
+	MaxIterations int `json:"maxIterations,omitempty"`
+	// TimeoutMs bounds the request as in AnalyzeNetworksRequest.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+}
+
+// TopologyResultJSON is the wire form of one TopologyBatchResult: the
+// Err field (a Go error) becomes its string.
+type TopologyResultJSON struct {
+	Index   int                    `json:"index"`
+	Skipped bool                   `json:"skipped,omitempty"`
+	Error   string                 `json:"error,omitempty"`
+	Result  profirt.TopologyResult `json:"result"`
+}
+
+// AnalyzeTopologiesResponse is the reply: results in input order.
+type AnalyzeTopologiesResponse struct {
+	Results []TopologyResultJSON `json:"results"`
+}
+
+// TopologyResults converts a batch to its wire form.
+func TopologyResults(in []profirt.TopologyBatchResult) []TopologyResultJSON {
+	out := make([]TopologyResultJSON, len(in))
+	for i, r := range in {
+		out[i] = TopologyResultJSON{Index: r.Index, Skipped: r.Skipped, Result: r.Result}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+		}
+	}
+	return out
+}
+
+// SimulateBatchRequest is the body of POST /v1/simulate/batch. Each
+// network description's simulator configuration is extracted with
+// configfile Build; analysis-side fields are ignored.
+type SimulateBatchRequest struct {
+	Networks []configfile.File `json:"networks"`
+	// Seed is the batch base seed: run i uses Seed ⊕ FNV-1a(i) unless
+	// ConfigSeeds is set.
+	Seed int64 `json:"seed,omitempty"`
+	// ConfigSeeds uses each description's own "seed" field verbatim.
+	ConfigSeeds bool  `json:"configSeeds,omitempty"`
+	TimeoutMs   int64 `json:"timeoutMs,omitempty"`
+}
+
+// SimResultJSON is the wire form of one SimBatchResult.
+type SimResultJSON struct {
+	Index   int               `json:"index"`
+	Skipped bool              `json:"skipped,omitempty"`
+	Error   string            `json:"error,omitempty"`
+	Result  profirt.SimResult `json:"result"`
+}
+
+// SimulateBatchResponse is the reply: results in input order.
+type SimulateBatchResponse struct {
+	Results []SimResultJSON `json:"results"`
+}
+
+// SimResults converts a batch to its wire form.
+func SimResults(in []profirt.SimBatchResult) []SimResultJSON {
+	out := make([]SimResultJSON, len(in))
+	for i, r := range in {
+		out[i] = SimResultJSON{Index: r.Index, Skipped: r.Skipped, Result: r.Result}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+		}
+	}
+	return out
+}
+
+// SimulateTopologyRequest is the body of POST /v1/simulate/topology.
+type SimulateTopologyRequest struct {
+	Topology configfile.TopologyFile `json:"topology"`
+	// MaxRounds caps the bridge-exchange fixed point (0 selects the
+	// engine default). A cancelled or timed-out request stops at the
+	// next round barrier.
+	MaxRounds int   `json:"maxRounds,omitempty"`
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+}
+
+// SimulateTopologyResponse is the reply.
+type SimulateTopologyResponse struct {
+	Result profirt.TopologySimResult `json:"result"`
+}
+
+// CampaignRequest is the body of POST /v1/campaign. The reply is an
+// NDJSON stream of StreamEvent lines: one "row" event per finished
+// table row in grid order, then one "done" (or "error") event.
+type CampaignRequest struct {
+	// Manifest is a campaign manifest (inline networks only, the
+	// ParseCampaign schema).
+	Manifest json.RawMessage `json:"manifest"`
+	// StopAfter, when positive, cancels the campaign after that many
+	// newly executed jobs.
+	StopAfter int   `json:"stopAfter,omitempty"`
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of a streamed campaign response.
+// Exactly one of Row, Done and Error is set, per Type.
+type StreamEvent struct {
+	// Type is "row", "done" or "error".
+	Type string `json:"type"`
+	// Row carries one released table row (Type "row").
+	Row *RowJSON `json:"row,omitempty"`
+	// Done summarizes the completed run (Type "done").
+	Done *CampaignDoneJSON `json:"done,omitempty"`
+	// Error carries the failure (Type "error"); the stream ends here.
+	Error string `json:"error,omitempty"`
+}
+
+// RowJSON is the wire form of one TableRowEvent.
+type RowJSON struct {
+	// Table is the owning table's title.
+	Table string `json:"table"`
+	// Index and Total are the row's grid position and the table's row
+	// count; rows of one table arrive with strictly increasing Index.
+	Index int `json:"index"`
+	Total int `json:"total"`
+	// Cells holds the formatted row.
+	Cells []string `json:"cells"`
+}
+
+// CampaignDoneJSON summarizes a finished campaign run.
+type CampaignDoneJSON struct {
+	Jobs     int `json:"jobs"`
+	Restored int `json:"restored"`
+	Executed int `json:"executed"`
+	Skipped  int `json:"skipped"`
+	// Table is the fully assembled table, rendered as plain text
+	// (complete only when Skipped == 0).
+	Table string `json:"table"`
+}
+
+// Row converts a TableRowEvent to its wire form.
+func Row(ev profirt.TableRowEvent) RowJSON {
+	title := ""
+	if ev.Table != nil {
+		title = ev.Table.Title
+	}
+	return RowJSON{Table: title, Index: ev.Index, Total: ev.Total, Cells: ev.Cells}
+}
+
+// errorBody is the JSON body of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"context"
 	"hash/fnv"
 	"io"
 
@@ -22,12 +23,24 @@ type SimOptions struct {
 	// topology simulations share one bounded worker set. Results are
 	// byte-identical either way.
 	Pool *pool.Shared
+	// Context cancels the simulation at the next round barrier: the
+	// bridge-exchange fixed point checks it before each round and
+	// after the round's segment shards complete, so a cancelled
+	// simulation returns ctx.Err() within one round instead of running
+	// to convergence. nil means context.Background().
+	Context context.Context
 	// MaxRounds caps the bridge-exchange fixed point (default: total
 	// relay count + 2, which suffices for any valid — stream-acyclic —
 	// relay chain, whose depth is at most the relay count; mutually
 	// coupled rings can in principle oscillate — the result then
 	// reports Converged false).
 	MaxRounds int
+	// OnRound, when non-nil, is called at each round barrier after the
+	// round's segment simulations complete, with the 1-based round
+	// number. It runs on the submitting goroutine between rounds, so a
+	// caller streaming round progress (or deciding to cancel a stale
+	// run) observes every barrier in order.
+	OnRound func(round int)
 }
 
 // SegmentSimResult is one segment's simulation outcome.
@@ -205,9 +218,17 @@ func Simulate(t SimTopology, opts SimOptions) (SimResult, error) {
 	for i := range dirty {
 		dirty[i] = true
 	}
+	ctx := opts.Context
 	rounds := 0
 	converged := false
 	for {
+		// Round barrier: a context cancelled during the previous round
+		// (a dead client, a hit deadline, a retuned controller) must not
+		// grind through the remaining fixed-point rounds — MaxRounds of
+		// them in the non-converging case.
+		if ctx != nil && ctx.Err() != nil {
+			return SimResult{}, ctx.Err()
+		}
 		rounds++
 		// Publish this round's origin maps before running, so trace
 		// lookups during derivation see the lists the round used.
@@ -218,16 +239,25 @@ func Simulate(t SimTopology, opts SimOptions) (SimResult, error) {
 			}
 			originByTarget[ri] = m
 		}
-		pool.Do(nil, opts.Pool, opts.Parallelism, n, func(i int) {
-			if !dirty[i] {
+		pool.Do(ctx, opts.Pool, opts.Parallelism, n, func(i int) {
+			if !dirty[i] || (ctx != nil && ctx.Err() != nil) {
 				return
 			}
 			results[i], errs[i] = profibus.Simulate(cfgs[i])
 		})
+		// A cancellation mid-round leaves some segments unsimulated;
+		// their result slots are stale, so bail before deriving
+		// injections from them.
+		if ctx != nil && ctx.Err() != nil {
+			return SimResult{}, ctx.Err()
+		}
 		for _, err := range errs {
 			if err != nil {
 				return SimResult{}, err
 			}
+		}
+		if opts.OnRound != nil {
+			opts.OnRound(rounds)
 		}
 		// Derive next-round injections from the source traces. Failed
 		// source cycles delivered nothing, so the bridge forwards
