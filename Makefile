@@ -58,8 +58,12 @@ race:
 # still holds the previous baseline for the diff). bench-delta.json
 # carries the comparison for CI artifacts. BENCHFLAGS=-warn demotes
 # the guard to a report on noisy machines.
+# The observability pair runs separately with -count so the on-vs-off
+# gate compares minima instead of single noisy samples (benchjson
+# aggregates repeated lines by per-metric minimum).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkAllExperiments|BenchmarkAnalyzeBatch|BenchmarkAnalyzeCached|BenchmarkSimulateBatch|BenchmarkCampaign|BenchmarkEngineConcurrentCallers' -benchmem . > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineObs' -benchmem -count=5 . >> bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	cat bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_results.json -baseline BENCH_results.json -delta bench-delta.json $(BENCHFLAGS) < bench.out
 	@rm -f bench.out

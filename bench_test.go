@@ -140,6 +140,35 @@ func BenchmarkAnalyzeCachedWarm(b *testing.B) {
 	}
 }
 
+// benchEngineObs measures the Engine's per-call observability cost on
+// a warm-cache AnalyzeNetworks batch — the hottest instrumented path,
+// where every job records a run-time histogram sample and every memo
+// probe is timed. On and Off differ only in WithObservability; the
+// bench guard (cmd/benchjson) enforces at most 5% ns/op overhead and
+// zero extra allocs/op between the pair, within the same run.
+func benchEngineObs(b *testing.B, enabled bool) {
+	nets := benchCachedNets()
+	eng := profirt.NewEngine(
+		profirt.WithParallelism(1),
+		profirt.WithCache(profirt.NewAnalysisCache(0)),
+		profirt.WithObservability(enabled),
+	)
+	defer eng.Close()
+	ctx := context.Background()
+	if _, err := eng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineObsOn(b *testing.B)  { benchEngineObs(b, true) }
+func BenchmarkEngineObsOff(b *testing.B) { benchEngineObs(b, false) }
+
 // BenchmarkAllExperimentsCached tracks the cache's effect on the full
 // E1–E13 quick suite (compare against BenchmarkAllExperimentsParallel).
 // One warm-up pass populates the cache before the timer starts so the

@@ -51,11 +51,53 @@ type DeltaReport struct {
 	// cost more than it saves" acceptance criterion on it.
 	CachedSlowerPct float64 `json:"cached_slower_pct"`
 	CachedRegressed bool    `json:"cached_regressed,omitempty"`
+	// ObsOverheadPct is how much slower BenchmarkEngineObsOn ran than
+	// BenchmarkEngineObsOff in the current run (negative = faster);
+	// the guard enforces the observability acceptance criterion —
+	// instrumentation costs at most obsOverheadSlackPct on the hot
+	// path and allocates nothing extra per op.
+	ObsOverheadPct float64 `json:"obs_overhead_pct"`
+	// ObsExtraAllocs is allocs/op(On) − allocs/op(Off); any positive
+	// value regresses.
+	ObsExtraAllocs float64 `json:"obs_extra_allocs"`
+	ObsRegressed   bool    `json:"obs_regressed,omitempty"`
 }
 
 // cachedVsSequentialSlackPct tolerates measurement noise on the
 // cached-vs-sequential rule before declaring the cache a pessimisation.
 const cachedVsSequentialSlackPct = 10
+
+// obsOverheadSlackPct bounds how much the instrumented Engine may cost
+// over the uninstrumented one on the same run.
+const obsOverheadSlackPct = 5
+
+// aggregate collapses repeated result lines for the same benchmark
+// (a -count run) into one entry per name, taking the minimum of each
+// metric across repeats. The minimum is the standard noise-robust
+// estimator for benchmarks: interference only ever adds time, so the
+// smallest sample is the closest to the code's true cost.
+func aggregate(benchmarks []Benchmark) map[string]Benchmark {
+	by := make(map[string]Benchmark, len(benchmarks))
+	for _, b := range benchmarks {
+		prev, ok := by[b.Name]
+		if !ok {
+			// Copy the metrics map so the Report stays untouched.
+			merged := Benchmark{Name: b.Name, Procs: b.Procs, Iterations: b.Iterations,
+				Metrics: make(map[string]float64, len(b.Metrics))}
+			for k, v := range b.Metrics {
+				merged.Metrics[k] = v
+			}
+			by[b.Name] = merged
+			continue
+		}
+		for k, v := range b.Metrics {
+			if old, have := prev.Metrics[k]; !have || v < old {
+				prev.Metrics[k] = v
+			}
+		}
+	}
+	return by
+}
 
 // compare builds the delta report of cur against the baseline at path.
 func compare(baselinePath string, cur Report, maxRegressPct float64) (DeltaReport, error) {
@@ -67,13 +109,17 @@ func compare(baselinePath string, cur Report, maxRegressPct float64) (DeltaRepor
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return DeltaReport{}, fmt.Errorf("parse baseline %s: %w", baselinePath, err)
 	}
-	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
-	for _, b := range base.Benchmarks {
-		baseBy[b.Name] = b
-	}
+	baseBy := aggregate(base.Benchmarks)
+	curBy := aggregate(cur.Benchmarks)
 
 	rep := DeltaReport{BaselineUnix: base.Unix, MaxRegressPct: maxRegressPct}
-	for _, b := range cur.Benchmarks {
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, line := range cur.Benchmarks {
+		if seen[line.Name] {
+			continue
+		}
+		seen[line.Name] = true
+		b := curBy[line.Name]
 		old, ok := baseBy[b.Name]
 		if !ok {
 			continue
@@ -96,15 +142,22 @@ func compare(baselinePath string, cur Report, maxRegressPct float64) (DeltaRepor
 
 	// Cached-vs-sequential rule, evaluated within the current run so a
 	// uniformly slow machine cannot mask (or fake) it.
-	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
-	for _, b := range cur.Benchmarks {
-		curBy[b.Name] = b
-	}
 	seq, okSeq := curBy["BenchmarkAllExperimentsSequential"]
 	cached, okCached := curBy["BenchmarkAllExperimentsCached"]
 	if okSeq && okCached && seq.Metrics["ns/op"] > 0 {
 		rep.CachedSlowerPct = (cached.Metrics["ns/op"] - seq.Metrics["ns/op"]) / seq.Metrics["ns/op"] * 100
 		rep.CachedRegressed = rep.CachedSlowerPct > cachedVsSequentialSlackPct
+	}
+
+	// Observability overhead rule, also within the current run: the
+	// instrumented Engine must stay within the slack on wall time and
+	// allocate nothing extra per op.
+	off, okOff := curBy["BenchmarkEngineObsOff"]
+	on, okOn := curBy["BenchmarkEngineObsOn"]
+	if okOff && okOn && off.Metrics["ns/op"] > 0 {
+		rep.ObsOverheadPct = (on.Metrics["ns/op"] - off.Metrics["ns/op"]) / off.Metrics["ns/op"] * 100
+		rep.ObsExtraAllocs = on.Metrics["allocs/op"] - off.Metrics["allocs/op"]
+		rep.ObsRegressed = rep.ObsOverheadPct > obsOverheadSlackPct || rep.ObsExtraAllocs > 0
 	}
 	return rep, nil
 }
@@ -124,6 +177,12 @@ func (rep DeltaReport) render() {
 		fmt.Fprintf(os.Stderr, "! cached experiments run slower than sequential beyond the %d%% slack\n",
 			cachedVsSequentialSlackPct)
 	}
+	fmt.Fprintf(os.Stderr, "observability on vs off (same run): %+.1f%% ns/op, %+.0f allocs/op\n",
+		rep.ObsOverheadPct, rep.ObsExtraAllocs)
+	if rep.ObsRegressed {
+		fmt.Fprintf(os.Stderr, "! engine observability costs more than the %d%% slack or allocates per op\n",
+			obsOverheadSlackPct)
+	}
 	if rep.Regressions > 0 {
 		fmt.Fprintf(os.Stderr, "! %d metric(s) regressed past %.0f%% vs baseline\n",
 			rep.Regressions, rep.MaxRegressPct)
@@ -132,5 +191,5 @@ func (rep DeltaReport) render() {
 
 // failed reports whether the guard should reject the run.
 func (rep DeltaReport) failed() bool {
-	return rep.Regressions > 0 || rep.CachedRegressed
+	return rep.Regressions > 0 || rep.CachedRegressed || rep.ObsRegressed
 }

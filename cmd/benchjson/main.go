@@ -9,10 +9,15 @@
 // With -baseline it additionally acts as the perf guard: each shared
 // benchmark's ns/op and allocs/op are compared against the baseline
 // report and the run fails when either regressed past -max-regress
-// percent (default 20), or when the cached experiments suite ran
-// slower than the sequential one in the fresh results. -warn demotes
-// failures to a report (for noisy CI runners) and -delta writes the
-// comparison as a JSON artifact:
+// percent (default 20), when the cached experiments suite ran slower
+// than the sequential one in the fresh results, or when the
+// instrumented Engine (BenchmarkEngineObsOn) costs more than the
+// observability slack over the uninstrumented one. Repeated result
+// lines for the same benchmark (a -count run) are collapsed for
+// comparison by taking each metric's minimum across repeats — the
+// noise-robust estimator — while the JSON artifact keeps every line.
+// -warn demotes failures to a report (for noisy CI runners) and
+// -delta writes the comparison as a JSON artifact:
 //
 //	... | go run ./cmd/benchjson -o BENCH_results.json -baseline BENCH_results.json -delta bench-delta.json
 package main
@@ -26,7 +31,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
+
+	"profirt/internal/obs"
 )
 
 // Benchmark is one parsed result line.
@@ -116,7 +122,7 @@ func main() {
 }
 
 func parse(r io.Reader) (Report, error) {
-	rep := Report{Unix: time.Now().Unix()}
+	rep := Report{Unix: obs.Now().Unix()}
 	var raw strings.Builder
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

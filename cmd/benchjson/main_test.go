@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -51,5 +53,87 @@ func TestParse(t *testing.T) {
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Error("expected an error with no benchmark lines")
+	}
+}
+
+func TestAggregateTakesPerMetricMin(t *testing.T) {
+	by := aggregate([]Benchmark{
+		{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 300, "allocs/op": 7}},
+		{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 9}},
+		{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 200, "allocs/op": 8}},
+		{Name: "BenchmarkY", Metrics: map[string]float64{"ns/op": 50}},
+	})
+	x := by["BenchmarkX"]
+	if x.Metrics["ns/op"] != 100 || x.Metrics["allocs/op"] != 7 {
+		t.Errorf("aggregated X = %+v, want per-metric minima 100/7", x.Metrics)
+	}
+	if by["BenchmarkY"].Metrics["ns/op"] != 50 {
+		t.Errorf("aggregated Y = %+v", by["BenchmarkY"].Metrics)
+	}
+}
+
+// writeBaseline marshals a Report to a temp file for compare().
+func writeBaseline(t *testing.T, rep Report) string {
+	t.Helper()
+	path := t.TempDir() + "/baseline.json"
+	enc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestObsOverheadGate(t *testing.T) {
+	mk := func(name string, nsop, allocs float64) Benchmark {
+		return Benchmark{Name: name, Metrics: map[string]float64{"ns/op": nsop, "allocs/op": allocs}}
+	}
+	base := writeBaseline(t, Report{Benchmarks: []Benchmark{
+		mk("BenchmarkEngineObsOff", 1000, 10),
+		mk("BenchmarkEngineObsOn", 1000, 10),
+	}})
+
+	// Within slack, equal allocations: passes. Repeated -count lines
+	// must be collapsed to minima before the on/off ratio is taken.
+	rep, err := compare(base, Report{Benchmarks: []Benchmark{
+		mk("BenchmarkEngineObsOff", 1400, 10), // noisy outlier repeat
+		mk("BenchmarkEngineObsOff", 1000, 10),
+		mk("BenchmarkEngineObsOn", 1030, 10),
+		mk("BenchmarkEngineObsOn", 1500, 10),
+	}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ObsOverheadPct < 2.9 || rep.ObsOverheadPct > 3.1 {
+		t.Errorf("ObsOverheadPct = %v, want ~3 (minima 1030 vs 1000)", rep.ObsOverheadPct)
+	}
+	if rep.ObsRegressed || rep.failed() {
+		t.Errorf("gate tripped within slack: %+v", rep)
+	}
+
+	// Past the slack on wall time: fails.
+	rep, err = compare(base, Report{Benchmarks: []Benchmark{
+		mk("BenchmarkEngineObsOff", 1000, 10),
+		mk("BenchmarkEngineObsOn", 1100, 10),
+	}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ObsRegressed || !rep.failed() {
+		t.Errorf("10%% overhead not flagged: %+v", rep)
+	}
+
+	// Any extra allocation per op: fails even when time is fine.
+	rep, err = compare(base, Report{Benchmarks: []Benchmark{
+		mk("BenchmarkEngineObsOff", 1000, 10),
+		mk("BenchmarkEngineObsOn", 1000, 11),
+	}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ObsExtraAllocs != 1 || !rep.ObsRegressed {
+		t.Errorf("extra alloc not flagged: %+v", rep)
 	}
 }

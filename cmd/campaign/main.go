@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	campaign run     -manifest sweep.json -dir out [-parallel N] [-format md] [-stop-after N]
-//	campaign resume  -dir out [-parallel N] [-format md]
+//	campaign run     -manifest sweep.json -dir out [-parallel N] [-format md] [-stop-after N] [-trace FILE]
+//	campaign resume  -dir out [-parallel N] [-format md] [-trace FILE]
 //	campaign status  -dir out
 //	campaign compact -dir out
 //
@@ -44,6 +44,7 @@ import (
 	"strings"
 
 	"profirt"
+	"profirt/internal/obs"
 )
 
 func main() {
@@ -69,6 +70,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "md", "output format: plain, md or csv")
 	stopAfter := fs.Int("stop-after", 0,
 		"stop after N newly executed jobs (simulates a kill; used by tests/CI)")
+	traceFile := fs.String("trace", "",
+		"write a Chrome trace_event JSON of the run's spans to this file (observational only)")
 	if err := fs.Parse(rest); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -144,7 +147,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	)
 	defer eng.Close()
 
+	// -trace hangs an obs.Tracer on the run's context; every span the
+	// stack records (campaign.run, pool jobs, memo lookups, row
+	// reductions) lands in one trace_event file. The table is
+	// byte-identical with or without it.
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(cmd+" "+c.Manifest.Name, nil)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 	res, err := eng.RunCampaign(ctx, c, profirt.CampaignOptions{StopAfter: *stopAfter})
+	if tracer != nil {
+		if terr := writeTrace(tracer, *traceFile); terr != nil {
+			fmt.Fprintf(stderr, "campaign: trace: %v\n", terr)
+		} else {
+			fmt.Fprintf(stderr, "campaign: trace written to %s (%d spans)\n", *traceFile, len(tracer.Events()))
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "campaign: %v\n", err)
 		return 1
@@ -161,6 +180,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeTrace exports the run's spans as Chrome trace_event JSON.
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := tr.WriteTo(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // fileSize returns the store size for the compact summary (0 when

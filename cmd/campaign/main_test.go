@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -179,5 +180,51 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code, _, _ := runCLI(t, "resume", "-dir", filepath.Join(t.TempDir(), "nope")); code != 1 {
 		t.Error("resume of a missing dir should exit 1")
+	}
+}
+
+// TestTraceFlag: -trace writes a parseable trace_event file with the
+// campaign's spans, and the traced table matches an untraced run's.
+func TestTraceFlag(t *testing.T) {
+	manifest := writeManifest(t)
+	plainDir := filepath.Join(t.TempDir(), "plain")
+	code, plain, _ := runCLI(t, "run", "-manifest", manifest, "-dir", plainDir)
+	if code != 0 {
+		t.Fatalf("untraced run exited %d", code)
+	}
+
+	tracePath := filepath.Join(t.TempDir(), "run.trace.json")
+	tracedDir := filepath.Join(t.TempDir(), "traced")
+	code, traced, errOut := runCLI(t, "run", "-manifest", manifest, "-dir", tracedDir, "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("traced run exited %d: %s", code, errOut)
+	}
+	if traced != plain {
+		t.Fatal("traced table differs from untraced table")
+	}
+	if !strings.Contains(errOut, "trace written to") {
+		t.Fatalf("no trace confirmation on stderr:\n%s", errOut)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"engine.run_campaign", "campaign.run", "campaign.row", "pool.job"} {
+		if !names[want] {
+			t.Fatalf("trace missing %q spans (have %v)", want, names)
+		}
 	}
 }

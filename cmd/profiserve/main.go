@@ -10,10 +10,19 @@
 // direct library calls. SIGINT/SIGTERM drain gracefully: intake
 // stops, in-flight requests finish, the Engine closes, exit 0.
 //
+// Observability: -log emits one structured (JSON, log/slog) access
+// record per request; -trace-dir writes one Chrome trace_event JSON
+// file per request (open in chrome://tracing or Perfetto); -debug-addr
+// opens a second, separate listener exposing net/http/pprof — keep it
+// off the service port and bound to localhost. /metrics always carries
+// the Engine's latency histograms. All of it is observational only:
+// responses stay byte-identical.
+//
 // Usage:
 //
 //	profiserve [-addr HOST:PORT] [-parallel N] [-cache] \
-//	           [-max-inflight-per-client N] [-drain-timeout D]
+//	           [-max-inflight-per-client N] [-drain-timeout D] \
+//	           [-log] [-trace-dir DIR] [-debug-addr HOST:PORT]
 package main
 
 import (
@@ -21,8 +30,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,12 +61,21 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	cache := fs.Bool("cache", true, "enable the shared analysis cache")
 	maxInFlight := fs.Int("max-inflight-per-client", 16, "per-client in-flight request cap (0 = unlimited)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight requests")
+	logAccess := fs.Bool("log", false, "emit structured (JSON) access logs to stderr")
+	traceDir := fs.String("trace-dir", "", "write one Chrome trace_event JSON file per request into this directory")
+	debugAddr := fs.String("debug-addr", "", "optional second listener exposing net/http/pprof (keep it private)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "profiserve: unexpected argument %q\n", fs.Arg(0))
 		return 2
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "profiserve: trace dir: %v\n", err)
+			return 1
+		}
 	}
 
 	opts := []profirt.EngineOption{profirt.WithParallelism(*parallel)}
@@ -64,7 +84,11 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	}
 	eng := profirt.NewEngine(opts...)
 
-	srv := serve.New(eng, serve.Options{MaxInFlightPerClient: *maxInFlight})
+	sopts := serve.Options{MaxInFlightPerClient: *maxInFlight, TraceDir: *traceDir}
+	if *logAccess {
+		sopts.Logger = slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	srv := serve.New(eng, sopts)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		eng.Close()
@@ -74,11 +98,41 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	hs := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(stderr, "profiserve: listening on http://%s\n", ln.Addr())
 
+	// The pprof listener is deliberately separate from the service
+	// socket: profiling endpoints leak internals and must never be
+	// reachable through whatever exposes -addr.
+	var ds *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			eng.Close()
+			fmt.Fprintf(stderr, "profiserve: debug listener: %v\n", err)
+			return 1
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds = &http.Server{Handler: dmux}
+		fmt.Fprintf(stderr, "profiserve: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go ds.Serve(dln)
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	closeDebug := func() {
+		if ds != nil {
+			ds.Close()
+		}
+	}
+
 	select {
 	case err := <-serveErr:
+		closeDebug()
 		eng.Close()
 		fmt.Fprintf(stderr, "profiserve: serve: %v\n", err)
 		return 1
@@ -94,9 +148,11 @@ func run(ctx context.Context, args []string, stderr io.Writer) int {
 	if err := hs.Shutdown(dctx); err != nil {
 		fmt.Fprintf(stderr, "profiserve: drain: %v\n", err)
 		hs.Close()
+		closeDebug()
 		eng.Close()
 		return 1
 	}
+	closeDebug()
 	eng.Close()
 	fmt.Fprintln(stderr, "profiserve: drained cleanly")
 	return 0

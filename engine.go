@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"profirt/internal/campaign"
 	"profirt/internal/core"
 	"profirt/internal/experiments"
 	"profirt/internal/holistic"
 	"profirt/internal/memo"
+	"profirt/internal/obs"
 	"profirt/internal/pool"
 	"profirt/internal/profibus"
 	"profirt/internal/stats"
@@ -59,20 +61,15 @@ type Engine struct {
 	closed   bool
 	inflight sync.WaitGroup
 	calls    atomic.Int64
-	ops      engineOps
-}
+	// ops holds the per-method lifetime call counters behind
+	// Stats().Ops, indexed by obs.Op.
+	ops [obs.NumOps]atomic.Int64
 
-// engineOps holds the per-method lifetime call counters behind
-// Stats().Ops.
-type engineOps struct {
-	analyzeNetworks   atomic.Int64
-	analyzeTopologies atomic.Int64
-	analyzeHolistic   atomic.Int64
-	simulate          atomic.Int64
-	simulateBatch     atomic.Int64
-	simulateTopology  atomic.Int64
-	runCampaign       atomic.Int64
-	runExperiments    atomic.Int64
+	// obs holds the Engine's latency instrumentation (histograms per
+	// op, per pool job, per cache/store lookup); nil when disabled via
+	// WithObservability(false). Timing is observational only and never
+	// reaches result bytes — the determinism contract is unchanged.
+	obs *obs.Metrics
 }
 
 // ErrEngineClosed is returned by every Engine method called after
@@ -82,20 +79,28 @@ var ErrEngineClosed = errors.New("profirt: engine is closed")
 
 // begin registers one method call with the Engine's lifecycle and
 // bumps its op counter; it fails with ErrEngineClosed once Close has
-// been called. Every successful begin is paired with a deferred end.
-func (e *Engine) begin(op *atomic.Int64) error {
+// been called. The returned start time feeds the op's latency
+// histogram (zero when observability is off). Every successful begin
+// is paired with a deferred end of the same op.
+func (e *Engine) begin(op obs.Op) (time.Time, error) {
 	e.closeMu.Lock()
 	defer e.closeMu.Unlock()
 	if e.closed {
-		return ErrEngineClosed
+		return time.Time{}, ErrEngineClosed
 	}
 	e.inflight.Add(1)
 	e.calls.Add(1)
-	op.Add(1)
-	return nil
+	e.ops[op].Add(1)
+	if e.obs != nil {
+		return e.obs.Clock.Now(), nil
+	}
+	return time.Time{}, nil
 }
 
-func (e *Engine) end() {
+func (e *Engine) end(op obs.Op, start time.Time) {
+	if e.obs != nil {
+		e.obs.Ops[op].Observe(e.obs.Clock.Now().Sub(start))
+	}
 	e.calls.Add(-1)
 	e.inflight.Done()
 }
@@ -121,6 +126,7 @@ type EngineOption func(*Engine, *engineSetup)
 // engineSetup carries construction-only knobs.
 type engineSetup struct {
 	parallelism int
+	noObs       bool
 }
 
 // WithParallelism sets the width of the Engine's worker pool — the
@@ -164,6 +170,17 @@ func WithProgress(fn func(EngineEvent)) EngineOption {
 	return func(e *Engine, _ *engineSetup) { e.progress = fn }
 }
 
+// WithObservability toggles the Engine's latency instrumentation:
+// per-op, per-pool-job and per-cache/store-lookup histograms exported
+// through Stats().Latency. Enabled by default — recording is a few
+// atomic adds plus two clock reads per unit of work and never
+// influences results. Disable only for overhead-sensitive
+// micro-benchmarks; span tracing (obs.WithTracer on a call's context)
+// is independent of this switch.
+func WithObservability(enabled bool) EngineOption {
+	return func(_ *Engine, s *engineSetup) { s.noObs = !enabled }
+}
+
 // NewEngine builds an Engine: one bounded worker pool (WithParallelism,
 // default GOMAXPROCS) plus the shared resources selected by the other
 // options. Call Close when done with it to release the pool's worker
@@ -174,7 +191,17 @@ func NewEngine(opts ...EngineOption) *Engine {
 	for _, o := range opts {
 		o(e, &s)
 	}
-	e.pool = pool.NewShared(s.parallelism)
+	if s.noObs {
+		e.pool = pool.NewShared(s.parallelism)
+		return e
+	}
+	e.obs = obs.NewMetrics(nil)
+	e.pool = pool.NewSharedObserved(s.parallelism, &e.obs.Pool)
+	// The cache and store are caller-owned and may be shared between
+	// Engines; the last Engine to attach wins, which only redirects
+	// where lookup latency is recorded, never what lookups return.
+	e.cache.SetLatency(&e.obs.Cache)
+	e.store.SetLatency(&e.obs.Store)
 	return e
 }
 
@@ -228,11 +255,54 @@ type EngineOpStats struct {
 	RunExperiments    int64
 }
 
+// LatencySnapshot is a mergeable fixed-bucket latency histogram
+// snapshot (see LatencyBucketBounds for the shared bucket layout).
+type LatencySnapshot = obs.HistogramSnapshot
+
+// LatencyBucketBounds returns the upper bounds of the finite latency
+// histogram buckets shared by every LatencySnapshot, in ascending
+// order; Counts[len(bounds)] is the overflow bucket.
+func LatencyBucketBounds() []time.Duration { return obs.BucketBounds() }
+
+// EngineOpLatency is one Engine method's latency distribution.
+type EngineOpLatency struct {
+	// Op is the method's snake_case label (e.g. "analyze_networks"),
+	// matching EngineOpStats and the /metrics op labels.
+	Op string `json:"op"`
+	// Latency is the method's call-duration histogram.
+	Latency LatencySnapshot `json:"latency"`
+}
+
+// EngineLatencyStats is the histogram half of EngineStats: where the
+// counters say how much work ran, these say how long it took and
+// where it waited.
+type EngineLatencyStats struct {
+	// Enabled reports whether the Engine records latency at all
+	// (WithObservability). When false every histogram is zero.
+	Enabled bool `json:"enabled"`
+	// Ops holds one call-duration histogram per Engine method, in the
+	// fixed obs.Op order.
+	Ops []EngineOpLatency `json:"ops,omitempty"`
+	// PoolQueueWait is the submission-enqueue-to-dispatch wait of every
+	// worker-run pool job; inline (sequential) jobs never queue and are
+	// not counted here.
+	PoolQueueWait LatencySnapshot `json:"poolQueueWait"`
+	// PoolRun is the execution time of every pool job, worker-run or
+	// inline.
+	PoolRun LatencySnapshot `json:"poolRun"`
+	// CacheLookup times analysis-cache probes (lookups the counting
+	// pre-filter resolves without probing are not timed).
+	CacheLookup LatencySnapshot `json:"cacheLookup"`
+	// StoreLookup times result-store probes, lock wait included.
+	StoreLookup LatencySnapshot `json:"storeLookup"`
+}
+
 // EngineStats is a point-in-time snapshot of the Engine's shared
 // resources: pool occupancy and admission counters, per-method call
-// counters, and the cache/store counters when those resources are
-// installed (zero otherwise). It is what a serving front end exports
-// as its metrics (see internal/serve and cmd/profiserve).
+// counters, latency histograms, and the cache/store counters when
+// those resources are installed (zero otherwise). It is what a
+// serving front end exports as its metrics (see internal/serve and
+// cmd/profiserve).
 type EngineStats struct {
 	// Pool reports the shared worker pool: width, jobs executing at
 	// the snapshot instant (occupancy), admission-ring depth, and
@@ -243,6 +313,9 @@ type EngineStats struct {
 	InFlightCalls int64
 	// Ops counts calls per Engine method.
 	Ops EngineOpStats
+	// Latency holds the Engine's latency histograms (zero when
+	// observability is disabled).
+	Latency EngineLatencyStats
 	// Cache snapshots the shared analysis cache (zero when disabled).
 	Cache AnalysisCacheStats
 	// Store snapshots the durable result store (zero when absent).
@@ -262,19 +335,39 @@ func (e *Engine) Stats() EngineStats {
 		Pool:          e.pool.Stats(),
 		InFlightCalls: e.calls.Load(),
 		Ops: EngineOpStats{
-			AnalyzeNetworks:   e.ops.analyzeNetworks.Load(),
-			AnalyzeTopologies: e.ops.analyzeTopologies.Load(),
-			AnalyzeHolistic:   e.ops.analyzeHolistic.Load(),
-			Simulate:          e.ops.simulate.Load(),
-			SimulateBatch:     e.ops.simulateBatch.Load(),
-			SimulateTopology:  e.ops.simulateTopology.Load(),
-			RunCampaign:       e.ops.runCampaign.Load(),
-			RunExperiments:    e.ops.runExperiments.Load(),
+			AnalyzeNetworks:   e.ops[obs.OpAnalyzeNetworks].Load(),
+			AnalyzeTopologies: e.ops[obs.OpAnalyzeTopologies].Load(),
+			AnalyzeHolistic:   e.ops[obs.OpAnalyzeHolistic].Load(),
+			Simulate:          e.ops[obs.OpSimulate].Load(),
+			SimulateBatch:     e.ops[obs.OpSimulateBatch].Load(),
+			SimulateTopology:  e.ops[obs.OpSimulateTopology].Load(),
+			RunCampaign:       e.ops[obs.OpRunCampaign].Load(),
+			RunExperiments:    e.ops[obs.OpRunExperiments].Load(),
 		},
-		Cache:  e.cache.Stats(),
-		Store:  e.store.Stats(),
-		Closed: closed,
+		Latency: e.latencyStats(),
+		Cache:   e.cache.Stats(),
+		Store:   e.store.Stats(),
+		Closed:  closed,
 	}
+}
+
+// latencyStats snapshots every histogram the Engine records.
+func (e *Engine) latencyStats() EngineLatencyStats {
+	if e.obs == nil {
+		return EngineLatencyStats{}
+	}
+	ls := EngineLatencyStats{
+		Enabled:       true,
+		Ops:           make([]EngineOpLatency, 0, obs.NumOps),
+		PoolQueueWait: e.obs.Pool.QueueWait.Snapshot(),
+		PoolRun:       e.obs.Pool.Run.Snapshot(),
+		CacheLookup:   e.obs.Cache.Lookup.Snapshot(),
+		StoreLookup:   e.obs.Store.Lookup.Snapshot(),
+	}
+	for op := obs.Op(0); int(op) < obs.NumOps; op++ {
+		ls.Ops = append(ls.Ops, EngineOpLatency{Op: op.String(), Latency: e.obs.Ops[op].Snapshot()})
+	}
+	return ls
 }
 
 // defaultEngine backs the legacy free functions (AnalyzeBatch,
@@ -321,10 +414,13 @@ type AnalyzeOptions struct {
 // early; networks not yet evaluated come back with Skipped set. The
 // only error is ErrEngineClosed, after Close.
 func (e *Engine) AnalyzeNetworks(ctx context.Context, nets []Network, opts AnalyzeOptions) ([]BatchResult, error) {
-	if err := e.begin(&e.ops.analyzeNetworks); err != nil {
+	start, err := e.begin(obs.OpAnalyzeNetworks)
+	if err != nil {
 		return nil, err
 	}
-	defer e.end()
+	defer e.end(obs.OpAnalyzeNetworks, start)
+	ctx, sp := obs.StartSpan(ctx, "engine.analyze_networks")
+	defer sp.End()
 	return e.analyzeNetworks(ctx, nets, opts.DM, opts.EDF, e.cache, 0), nil
 }
 
@@ -343,14 +439,14 @@ func (e *Engine) analyzeNetworks(ctx context.Context, nets []Network, dm DMMessa
 		out[i] = BatchResult{Index: i, Skipped: true}
 	}
 	var done atomic.Int64
-	e.pool.RunContext(ctx, limit, len(nets), func(i int) {
+	e.pool.RunJobs(ctx, limit, len(nets), func(jctx context.Context, i int) {
 		if ctx.Err() != nil {
 			return
 		}
 		r := BatchResult{Index: i}
 		r.FCFS.Schedulable, r.FCFS.Verdicts = core.FCFSSchedulable(nets[i])
-		r.DM.Schedulable, r.DM.Verdicts = memo.DMSchedulable(cache, nets[i], dm)
-		r.EDF.Schedulable, r.EDF.Verdicts = memo.EDFSchedulableNet(cache, nets[i], edf)
+		r.DM.Schedulable, r.DM.Verdicts = memo.DMSchedulableCtx(jctx, cache, nets[i], dm)
+		r.EDF.Schedulable, r.EDF.Verdicts = memo.EDFSchedulableNetCtx(jctx, cache, nets[i], edf)
 		out[i] = r
 		e.note("analyze", &done, len(nets), false)
 	})
@@ -373,10 +469,13 @@ type TopologyAnalyzeOptions struct {
 // AnalyzeNetworks. It returns an error only for invalid options;
 // per-topology structural errors land in each result's Err field.
 func (e *Engine) AnalyzeTopologies(ctx context.Context, tops []Topology, opts TopologyAnalyzeOptions) ([]TopologyBatchResult, error) {
-	if err := e.begin(&e.ops.analyzeTopologies); err != nil {
+	start, err := e.begin(obs.OpAnalyzeTopologies)
+	if err != nil {
 		return nil, err
 	}
-	defer e.end()
+	defer e.end(obs.OpAnalyzeTopologies, start)
+	ctx, sp := obs.StartSpan(ctx, "engine.analyze_topologies")
+	defer sp.End()
 	if opts.MaxIterations < 0 {
 		return nil, fmt.Errorf("profirt: AnalyzeTopologies: MaxIterations must be non-negative, got %d", opts.MaxIterations)
 	}
@@ -414,10 +513,13 @@ func (e *Engine) analyzeTopologies(ctx context.Context, tops []Topology, topts t
 // already set. The fixed point itself is a single sequential
 // computation; ctx is consulted before it starts.
 func (e *Engine) AnalyzeHolistic(ctx context.Context, cfg HolisticConfig) (HolisticResult, error) {
-	if err := e.begin(&e.ops.analyzeHolistic); err != nil {
+	start, err := e.begin(obs.OpAnalyzeHolistic)
+	if err != nil {
 		return HolisticResult{}, err
 	}
-	defer e.end()
+	defer e.end(obs.OpAnalyzeHolistic, start)
+	_, sp := obs.StartSpan(ctx, "engine.analyze_holistic")
+	defer sp.End()
 	if ctx != nil && ctx.Err() != nil {
 		return HolisticResult{}, ctx.Err()
 	}
@@ -432,10 +534,13 @@ func (e *Engine) AnalyzeHolistic(ctx context.Context, cfg HolisticConfig) (Holis
 // goroutine; use SimulateBatch to fan independent runs across the
 // pool. ctx is consulted before the run starts.
 func (e *Engine) Simulate(ctx context.Context, cfg SimConfig) (SimResult, error) {
-	if err := e.begin(&e.ops.simulate); err != nil {
+	start, err := e.begin(obs.OpSimulate)
+	if err != nil {
 		return SimResult{}, err
 	}
-	defer e.end()
+	defer e.end(obs.OpSimulate, start)
+	_, sp := obs.StartSpan(ctx, "engine.simulate")
+	defer sp.End()
 	if ctx != nil && ctx.Err() != nil {
 		return SimResult{}, ctx.Err()
 	}
@@ -463,10 +568,13 @@ type SimulateOptions struct {
 // back with Skipped set. The only error is ErrEngineClosed, after
 // Close.
 func (e *Engine) SimulateBatch(ctx context.Context, cfgs []SimConfig, opts SimulateOptions) ([]SimBatchResult, error) {
-	if err := e.begin(&e.ops.simulateBatch); err != nil {
+	start, err := e.begin(obs.OpSimulateBatch)
+	if err != nil {
 		return nil, err
 	}
-	defer e.end()
+	defer e.end(obs.OpSimulateBatch, start)
+	ctx, sp := obs.StartSpan(ctx, "engine.simulate_batch")
+	defer sp.End()
 	onResult := opts.OnResult
 	if e.progress != nil {
 		var done atomic.Int64
@@ -505,10 +613,13 @@ type TopologySimulateOptions struct {
 // returns ctx.Err(), so a dead client or an expired deadline costs at
 // most one round of segment simulations.
 func (e *Engine) SimulateTopology(ctx context.Context, t SimTopology, opts TopologySimulateOptions) (TopologySimResult, error) {
-	if err := e.begin(&e.ops.simulateTopology); err != nil {
+	start, err := e.begin(obs.OpSimulateTopology)
+	if err != nil {
 		return TopologySimResult{}, err
 	}
-	defer e.end()
+	defer e.end(obs.OpSimulateTopology, start)
+	ctx, sp := obs.StartSpan(ctx, "engine.simulate_topology")
+	defer sp.End()
 	return topology.Simulate(t, topology.SimOptions{
 		Pool:      e.pool,
 		Context:   ctx,
@@ -537,10 +648,13 @@ type CampaignOptions struct {
 // in grid order. The finished table is a pure function of the
 // manifest — independent of parallelism, interruptions and restores.
 func (e *Engine) RunCampaign(ctx context.Context, c *Campaign, opts CampaignOptions) (CampaignRunResult, error) {
-	if err := e.begin(&e.ops.runCampaign); err != nil {
+	start, err := e.begin(obs.OpRunCampaign)
+	if err != nil {
 		return CampaignRunResult{}, err
 	}
-	defer e.end()
+	defer e.end(obs.OpRunCampaign, start)
+	ctx, sp := obs.StartSpan(ctx, "engine.run_campaign")
+	defer sp.End()
 	var progress func(CampaignEvent)
 	if e.progress != nil {
 		progress = func(ev CampaignEvent) {
@@ -624,10 +738,13 @@ var RenderTable = stats.Render
 // byte-identical at any parallelism. Cancelling ctx abandons cells not
 // yet dispatched, so the affected tables come back partial.
 func (e *Engine) RunExperiments(ctx context.Context, ids []string, opts ExperimentOptions) ([]ExperimentResult, error) {
-	if err := e.begin(&e.ops.runExperiments); err != nil {
+	start, err := e.begin(obs.OpRunExperiments)
+	if err != nil {
 		return nil, err
 	}
-	defer e.end()
+	defer e.end(obs.OpRunExperiments, start)
+	ctx, sp := obs.StartSpan(ctx, "engine.run_experiments")
+	defer sp.End()
 	cfg := experiments.DefaultConfig()
 	if opts.Quick {
 		cfg = experiments.QuickConfig()

@@ -15,9 +15,9 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"time"
 
 	"profirt"
+	"profirt/internal/obs"
 	"profirt/internal/workload"
 )
 
@@ -51,19 +51,19 @@ func main() {
 	parEng := profirt.NewEngine()
 	defer parEng.Close()
 
-	seqStart := time.Now()
+	seqStart := obs.Now()
 	seq, err := seqEng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
 	if err != nil {
 		panic(err)
 	}
-	seqDur := time.Since(seqStart)
+	seqDur := obs.Now().Sub(seqStart)
 
-	parStart := time.Now()
+	parStart := obs.Now()
 	par, err := parEng.AnalyzeNetworks(ctx, nets, profirt.AnalyzeOptions{})
 	if err != nil {
 		panic(err)
 	}
-	parDur := time.Since(parStart)
+	parDur := obs.Now().Sub(parStart)
 
 	for i := range seq {
 		if !sameVerdicts(seq[i], par[i]) {

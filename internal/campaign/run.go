@@ -10,6 +10,7 @@ import (
 	"profirt/internal/ap"
 	"profirt/internal/core"
 	"profirt/internal/memo"
+	"profirt/internal/obs"
 	"profirt/internal/pool"
 	"profirt/internal/profibus"
 	"profirt/internal/stats"
@@ -124,6 +125,11 @@ func (c *Campaign) Run(opts RunOptions) (RunResult, error) {
 		ctx = context.Background()
 	}
 	jobs := c.jobs
+	// Tracing (when ctx carries an obs.Tracer) wraps the whole run in
+	// one campaign.run span; simulations and row reductions nest under
+	// it. Observational only — the table is byte-identical either way.
+	ctx, runSpan := obs.StartSpanArg(ctx, "campaign.run", int64(len(jobs)))
+	defer runSpan.End()
 	results := make([]JobResult, len(jobs))
 	settled := make([]bool, len(jobs))
 	out := RunResult{Jobs: len(jobs)}
@@ -150,7 +156,7 @@ func (c *Campaign) Run(opts RunOptions) (RunResult, error) {
 	for r := range remaining {
 		remaining[r].Store(int32(perRow))
 	}
-	reduce := func(row int) { c.reduceRow(row, results, opts.Cache, rs) }
+	reduce := func(row int) { c.reduceRow(ctx, row, results, opts.Cache, rs) }
 
 	var done atomic.Int64
 	note := func(restored bool) {
@@ -256,8 +262,11 @@ func (c *Campaign) newTable() *stats.Table {
 // reduceRow folds one row's job results (in job order) into its table
 // row and emits it. Pure integer folding over persisted aggregates
 // plus deterministic analyses of the scaled network — byte-identical
-// whether results were computed or restored.
-func (c *Campaign) reduceRow(row int, results []JobResult, cache *memo.Cache, rs *stats.RowStreamer) {
+// whether results were computed or restored. ctx carries tracing
+// only: a traced run records one campaign.row span per reduction.
+func (c *Campaign) reduceRow(ctx context.Context, row int, results []JobResult, cache *memo.Cache, rs *stats.RowStreamer) {
+	ctx, sp := obs.StartSpanArg(ctx, "campaign.row", int64(row))
+	defer sp.End()
 	net := c.scaledNet(row)
 	perPol := c.Manifest.Trials
 	base := row * len(c.policies) * perPol
@@ -266,9 +275,9 @@ func (c *Campaign) reduceRow(row int, results []JobResult, cache *memo.Cache, rs
 		var ok bool
 		switch pol {
 		case ap.DM:
-			ok, _ = memo.DMSchedulable(cache, net, core.DMOptions{})
+			ok, _ = memo.DMSchedulableCtx(ctx, cache, net, core.DMOptions{})
 		case ap.EDF:
-			ok, _ = memo.EDFSchedulableNet(cache, net, core.EDFOptions{})
+			ok, _ = memo.EDFSchedulableNetCtx(ctx, cache, net, core.EDFOptions{})
 		default:
 			ok, _ = core.FCFSSchedulable(net)
 		}

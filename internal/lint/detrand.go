@@ -2,24 +2,46 @@ package lint
 
 import (
 	"go/ast"
+	"strings"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
 	"golang.org/x/tools/go/ast/inspector"
 )
 
-// DetRand flags wall-clock reads and unseeded global math/rand draws
-// in result-producing packages. Both make output depend on when or in
-// what order code ran, which breaks the repo's core contract: tables
-// are byte-identical at any parallelism, cache state, or resume point.
-var DetRand = suppressGated(&analysis.Analyzer{
+// DetRand flags wall-clock reads and unseeded global math/rand draws.
+// Both make output depend on when or in what order code ran, which
+// breaks the repo's core contract: tables are byte-identical at any
+// parallelism, cache state, or resume point.
+//
+// The two rules have different blast radii. The global-RNG rule
+// applies to result-producing packages (the root package and
+// internal/*): binaries and examples may shuffle for display. The
+// time.Now rule applies to every package except internal/obs — the
+// one package allowed to touch the wall clock — so all timing flows
+// through an injectable obs.Clock (obs.Now for display-only
+// timestamps) and can never leak into result bytes unnoticed.
+var DetRand = suppressWith(&analysis.Analyzer{
 	Name:     "detrand",
-	Doc:      "forbid time.Now() and unseeded global math/rand in result-producing packages (determinism invariant)",
+	Doc:      "forbid time.Now() outside internal/obs and unseeded global math/rand in result-producing packages (determinism invariant)",
 	Requires: []*analysis.Analyzer{inspect.Analyzer},
 	Run:      runDetRand,
-})
+}, detrandPackage)
 
 const detrandInvariant = "results must be a pure function of (config, seed), never of wall-clock or process-global RNG state"
+
+const detrandClockInvariant = "internal/obs owns the wall clock: timing is injected via obs.Clock and never flows into result bytes"
+
+// detrandPackage gates the whole analyzer: everything but vendored
+// code and internal/obs is checked. The narrower rand rules gate
+// again on resultPackage inside runDetRand.
+func detrandPackage(pass *analysis.Pass) bool {
+	path := pass.Pkg.Path()
+	if strings.Contains(path, "/vendor/") || strings.HasPrefix(path, "vendor/") {
+		return false
+	}
+	return !strings.HasSuffix(path, "internal/obs")
+}
 
 // globalRandConstructors are the math/rand package-level functions that
 // are fine to call: they build explicitly seeded generators rather than
@@ -35,14 +57,23 @@ var globalRandConstructors = map[string]bool{
 
 func runDetRand(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	inResult := resultPackage(pass)
 	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
 		call := n.(*ast.CallExpr)
 		if testFile(pass, call.Pos()) {
 			return
 		}
 		if pkgFunc(pass, call, "time", "Now") {
-			pass.Reportf(call.Pos(), "%s", invariantf("detrand",
-				detrandInvariant, "time.Now() in result-producing package %s", pass.Pkg.Path()))
+			if inResult {
+				pass.Reportf(call.Pos(), "%s", invariantf("detrand",
+					detrandInvariant, "time.Now() in result-producing package %s", pass.Pkg.Path()))
+			} else {
+				pass.Reportf(call.Pos(), "%s", invariantf("detrand",
+					detrandClockInvariant, "time.Now() outside internal/obs; read the clock through obs.Clock, or obs.Now for display-only timestamps"))
+			}
+			return
+		}
+		if !inResult {
 			return
 		}
 		for _, randPkg := range []string{"math/rand", "math/rand/v2"} {

@@ -27,10 +27,20 @@ func TestDetRand(t *testing.T) {
 }
 
 func TestDetRandExemptions(t *testing.T) {
-	// The same violating fixture stays silent under cmd/ and
-	// examples/ paths: binaries may time wall-clock runs.
-	linttest.RunExpectNone(t, lint.DetRand, fixture("detrand"), cmdPath)
-	linttest.RunExpectNone(t, lint.DetRand, fixture("detrand"), examplesPath)
+	// The global-RNG rule stays scoped to result-producing packages:
+	// a rand-only fixture is silent under cmd/ and examples/ paths.
+	linttest.RunExpectNone(t, lint.DetRand, fixture("detrandrand"), cmdPath)
+	linttest.RunExpectNone(t, lint.DetRand, fixture("detrandrand"), examplesPath)
+}
+
+// TestDetRandClockEverywhere pins the obs clock boundary: time.Now()
+// fires in cmd/ binaries and in internal packages (internal/pool is
+// exactly where a stray timing call would corrupt determinism), and
+// only internal/obs — the clock owner — is exempt.
+func TestDetRandClockEverywhere(t *testing.T) {
+	linttest.Run(t, lint.DetRand, fixture("detrandclock"), cmdPath)
+	linttest.Run(t, lint.DetRand, fixture("detrandclock"), "profirt/internal/pool")
+	linttest.RunExpectNone(t, lint.DetRand, fixture("detrandclock"), "profirt/internal/obs")
 }
 
 func TestMapIter(t *testing.T) {

@@ -1,0 +1,21 @@
+// Fixture for the detrand clock rule in NON-result packages: cmd/,
+// examples/ and internal packages outside internal/obs may not read
+// the wall clock directly either — timing goes through obs.Clock.
+// Loaded under profirt/cmd/fixture and profirt/internal/pool the
+// time.Now calls must fire; under profirt/internal/obs the whole
+// analyzer stays silent.
+package fixture
+
+import (
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `detrand: time\.Now\(\)`
+}
+
+// Arithmetic on caller-provided instants stays legal everywhere; only
+// the read itself is fenced into internal/obs.
+func elapsed(start, end time.Time) time.Duration {
+	return end.Sub(start)
+}

@@ -1,0 +1,18 @@
+// Fixture for the detrand global-RNG rule in isolation (no wall-clock
+// reads), so the cmd/ and examples/ exemption — binaries may shuffle
+// for display — can be asserted without the everywhere-on clock rule
+// firing on the same file.
+package fixture
+
+import (
+	"math/rand"
+)
+
+func globalDraw() int64 {
+	return rand.Int63() // want `detrand: math/rand\.Int63 draws from the unseeded process-global RNG`
+}
+
+func seeded(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Int63()
+}

@@ -1,7 +1,10 @@
 package memo
 
 import (
+	"context"
+
 	"profirt/internal/core"
+	"profirt/internal/obs"
 )
 
 // This file holds the cache-aware mirrors of the core message
@@ -60,8 +63,15 @@ func unpermute(canonical []Ticks, perm []int) []Ticks {
 // and EDF wrappers. analyze must be the pure per-order analysis; it is
 // invoked on the caller's order for guaranteed misses and on the
 // canonical order otherwise (sound either way by the permutation-
-// equivariance argument in key.go).
-func cachedResponseTimes(c *Cache, kind Kind, streams []core.Stream, tcycle Ticks, opts []uint64, orderSensitive bool, analyze func([]core.Stream) []Ticks) []Ticks {
+// equivariance argument in key.go). When ctx carries an obs.Tracer
+// the whole memoized call records a memo.lookup span (arg = stream
+// count) — cheap hits and recompute-on-miss then separate visibly in
+// trace exports. ctx is observational only: it never cancels or
+// otherwise influences the analysis, so results stay byte-identical
+// with and without tracing.
+func cachedResponseTimes(ctx context.Context, c *Cache, kind Kind, streams []core.Stream, tcycle Ticks, opts []uint64, orderSensitive bool, analyze func([]core.Stream) []Ticks) []Ticks {
+	_, sp := obs.StartSpanArg(ctx, "memo.lookup", int64(len(streams)))
+	defer sp.End()
 	pre := streamSetPre(kind, tcycle, opts, streams)
 	if !c.mayContain(pre) {
 		// Guaranteed miss: no resident entry can match, so skip the
@@ -98,21 +108,35 @@ func cachedResponseTimes(c *Cache, kind Kind, streams []core.Stream, tcycle Tick
 // byte-identical to the uncached call for every input (see
 // keyScratch.build for why deadline ties are safe).
 func DMResponseTimes(c *Cache, streams []core.Stream, tcycle Ticks, opts core.DMOptions) []Ticks {
+	return DMResponseTimesCtx(nil, c, streams, tcycle, opts)
+}
+
+// DMResponseTimesCtx is DMResponseTimes with observability threaded
+// through: a tracer carried by ctx records one memo.lookup span per
+// memoized call. Results are identical to DMResponseTimes for every
+// ctx, including nil.
+func DMResponseTimesCtx(ctx context.Context, c *Cache, streams []core.Stream, tcycle Ticks, opts core.DMOptions) []Ticks {
 	if c.Disabled() || len(streams) == 0 {
 		return core.DMResponseTimes(streams, tcycle, opts)
 	}
 	w := dmOptsWords(opts)
-	return cachedResponseTimes(c, KindDM, streams, tcycle, w[:], true,
+	return cachedResponseTimes(ctx, c, KindDM, streams, tcycle, w[:], true,
 		func(ss []core.Stream) []Ticks { return core.DMResponseTimes(ss, tcycle, opts) })
 }
 
 // EDFResponseTimes is core.EDFResponseTimes memoized on c.
 func EDFResponseTimes(c *Cache, streams []core.Stream, tcycle Ticks, opts core.EDFOptions) []Ticks {
+	return EDFResponseTimesCtx(nil, c, streams, tcycle, opts)
+}
+
+// EDFResponseTimesCtx is EDFResponseTimes with observability threaded
+// through (see DMResponseTimesCtx).
+func EDFResponseTimesCtx(ctx context.Context, c *Cache, streams []core.Stream, tcycle Ticks, opts core.EDFOptions) []Ticks {
 	if c.Disabled() || len(streams) == 0 {
 		return core.EDFResponseTimes(streams, tcycle, opts)
 	}
 	w := edfOptsWords(opts)
-	return cachedResponseTimes(c, KindEDF, streams, tcycle, w[:], false,
+	return cachedResponseTimes(ctx, c, KindEDF, streams, tcycle, w[:], false,
 		func(ss []core.Stream) []Ticks { return core.EDFResponseTimes(ss, tcycle, opts) })
 }
 
@@ -121,23 +145,35 @@ func EDFResponseTimes(c *Cache, streams []core.Stream, tcycle Ticks, opts core.E
 // assembled fresh via core.SchedulableWith, so the cache stays
 // name-blind and two networks differing only in labels share entries.
 func DMSchedulable(c *Cache, n core.Network, opts core.DMOptions) (bool, []core.StreamVerdict) {
+	return DMSchedulableCtx(nil, c, n, opts)
+}
+
+// DMSchedulableCtx is DMSchedulable with observability threaded
+// through (see DMResponseTimesCtx).
+func DMSchedulableCtx(ctx context.Context, c *Cache, n core.Network, opts core.DMOptions) (bool, []core.StreamVerdict) {
 	return core.SchedulableWith(n, func(m core.Master, tc Ticks) []Ticks {
 		o := opts
 		if m.LongestLow > 0 {
 			o.BlockingFromLowPriority = true
 		}
-		return DMResponseTimes(c, m.High, tc, o)
+		return DMResponseTimesCtx(ctx, c, m.High, tc, o)
 	})
 }
 
 // EDFSchedulableNet mirrors core.EDFSchedulableNet with the per-master
 // bounds memoized on c.
 func EDFSchedulableNet(c *Cache, n core.Network, opts core.EDFOptions) (bool, []core.StreamVerdict) {
+	return EDFSchedulableNetCtx(nil, c, n, opts)
+}
+
+// EDFSchedulableNetCtx is EDFSchedulableNet with observability
+// threaded through (see DMResponseTimesCtx).
+func EDFSchedulableNetCtx(ctx context.Context, c *Cache, n core.Network, opts core.EDFOptions) (bool, []core.StreamVerdict) {
 	return core.SchedulableWith(n, func(m core.Master, tc Ticks) []Ticks {
 		o := opts
 		if m.LongestLow > 0 {
 			o.BlockingFromLowPriority = true
 		}
-		return EDFResponseTimes(c, m.High, tc, o)
+		return EDFResponseTimesCtx(ctx, c, m.High, tc, o)
 	})
 }

@@ -39,6 +39,9 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"profirt/internal/obs"
 )
 
 // Key is the content address of one analysis invocation: a SHA-256
@@ -100,7 +103,22 @@ type Cache struct {
 	disabled       atomic.Bool
 	shards         [shardCount]shard
 	pre            [shardCount]preShard
+	// lat, when set (SetLatency), times a sample of Get probes. An
+	// atomic pointer because an Engine may attach metrics to a cache
+	// already shared with in-flight lookups; sampleTick spreads the
+	// clock cost (two wall reads per timed probe) over
+	// lookupSampleEvery lookups, keeping the hot path at one atomic
+	// add on machines where reading the clock costs as much as the
+	// probe itself.
+	lat        atomic.Pointer[obs.CacheMetrics]
+	sampleTick atomic.Uint64
 }
+
+// lookupSampleEvery is the Get-latency sampling cadence: one probe in
+// every lookupSampleEvery is timed. Must be a power of two. Sampling
+// is sound here because probe latency is independent of the sampling
+// counter; the histogram is a uniform sample of the distribution.
+const lookupSampleEvery = 16
 
 // New builds a cache holding at most maxEntries results; maxEntries
 // <= 0 selects the default bound (1<<16).
@@ -252,12 +270,33 @@ func (c *Cache) preDec(p uint64) {
 	ps.mu.Unlock()
 }
 
+// SetLatency attaches lookup-latency instrumentation: one in every
+// lookupSampleEvery subsequent Gets records its duration into m.
+// Observational only — timing never changes what Get returns. m must
+// outlive the cache's use; nil detaches. Lookups the counting
+// pre-filter resolves without reaching Get are not timed (they never
+// probe the table).
+func (c *Cache) SetLatency(m *obs.CacheMetrics) {
+	if c == nil {
+		return
+	}
+	c.lat.Store(m)
+}
+
 // Get returns the value stored under k. Values must be treated as
 // immutable by every reader (the analysis wrappers copy before
 // returning). Safe on a nil receiver (always a miss).
 func (c *Cache) Get(k Key) (any, bool) {
 	if c == nil {
 		return nil, false
+	}
+	lm := c.lat.Load()
+	if lm != nil && c.sampleTick.Add(1)&(lookupSampleEvery-1) != 0 {
+		lm = nil
+	}
+	var t0 time.Time
+	if lm != nil {
+		t0 = lm.Clock.Now()
 	}
 	s := c.shardFor(k)
 	s.mu.RLock()
@@ -269,6 +308,9 @@ func (c *Cache) Get(k Key) (any, bool) {
 		c.misses.Add(1)
 	}
 	c.noteLookup(ok)
+	if lm != nil {
+		lm.Lookup.Observe(lm.Clock.Now().Sub(t0))
+	}
 	return e.v, ok
 }
 

@@ -10,6 +10,10 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"profirt/internal/obs"
 )
 
 // Store is the durable sibling of Cache: a disk-backed, append-only,
@@ -46,6 +50,9 @@ type Store struct {
 	hits      int64
 	misses    int64
 	compacted int64
+	// lat, when set (SetLatency), times every Get probe including its
+	// lock wait; see Cache.SetLatency for the contract.
+	lat atomic.Pointer[obs.StoreMetrics]
 }
 
 // storeVersion is bumped whenever the record encoding changes,
@@ -185,15 +192,35 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	if s == nil {
 		return nil, false
 	}
+	lm := s.lat.Load()
+	var t0 time.Time
+	if lm != nil {
+		// The clock is read before the lock on purpose: the histogram
+		// measures observed probe latency, contention included.
+		t0 = lm.Clock.Now()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	v, ok := s.m[k]
 	if ok {
 		s.hits++
 	} else {
 		s.misses++
 	}
+	s.mu.Unlock()
+	if lm != nil {
+		lm.Lookup.Observe(lm.Clock.Now().Sub(t0))
+	}
 	return v, ok
+}
+
+// SetLatency attaches lookup-latency instrumentation: every
+// subsequent Get records its duration into m (nil detaches).
+// Observational only — timing never changes what Get returns.
+func (s *Store) SetLatency(m *obs.StoreMetrics) {
+	if s == nil {
+		return
+	}
+	s.lat.Store(m)
 }
 
 // Put persists v under k: the record is appended to the file (one

@@ -7,6 +7,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"profirt/internal/obs"
 )
 
 // Shared is the long-lived counterpart of Run: a fixed set of worker
@@ -56,6 +59,11 @@ type Shared struct {
 	submissions int64 // total submissions admitted to the workers
 	jobs        int64 // total jobs executed on the workers
 	inline      atomic.Int64
+
+	// obs, when set (NewSharedObserved), records per-job queue-wait
+	// and run-time histograms. Purely observational: recording never
+	// blocks dispatch and timing never reaches job results.
+	obs *obs.PoolMetrics
 }
 
 // Stats is a point-in-time snapshot of a Shared pool's occupancy and
@@ -113,10 +121,10 @@ func (s *Shared) Closed() bool {
 	return s.closed
 }
 
-// submission is one RunContext call in flight on a Shared pool.
+// submission is one RunJobs call in flight on a Shared pool.
 type submission struct {
 	ctx      context.Context
-	fn       func(int)
+	fn       func(context.Context, int)
 	n        int
 	limit    int
 	next     int // next index to dispatch
@@ -126,6 +134,9 @@ type submission struct {
 	panicked bool
 	panicVal any
 	done     chan struct{}
+
+	enqueued time.Time // ring-entry instant; set only when the pool records metrics
+	traced   bool      // ctx carries an obs.Tracer: jobs open pool.job spans
 }
 
 // hasWork reports whether the submission still has indices to dispatch.
@@ -148,6 +159,15 @@ func NewShared(workers int) *Shared {
 	for i := 0; i < workers; i++ {
 		go s.worker()
 	}
+	return s
+}
+
+// NewSharedObserved is NewShared plus latency instrumentation: every
+// job records its queue wait (submission enqueue to dispatch) and run
+// time into m. m must outlive the pool; a nil m is NewShared.
+func NewSharedObserved(workers int, m *obs.PoolMetrics) *Shared {
+	s := NewShared(workers)
+	s.obs = m
 	return s
 }
 
@@ -198,6 +218,19 @@ func (s *Shared) Close() {
 // of this pool's own workers runs on a private per-call pool instead
 // (see the re-entrancy note on Shared).
 func (s *Shared) RunContext(ctx context.Context, limit, n int, fn func(i int)) {
+	s.RunJobs(ctx, limit, n, func(_ context.Context, i int) { fn(i) })
+}
+
+// RunJobs is RunContext for jobs that want their own context: each
+// job receives a context descended from ctx that carries the job's
+// pool.job tracing span (when ctx is traced), so work the job does —
+// cache lookups, nested spans — nests under the job in trace exports.
+// On an observed pool (NewSharedObserved) every worker-run job also
+// records queue-wait and run-time histograms; inline jobs (effective
+// limit 1) never queue and record run time only, and re-entrant
+// fallback jobs run on a private per-call pool outside the pool's
+// instrumentation.
+func (s *Shared) RunJobs(ctx context.Context, limit, n int, fn func(ctx context.Context, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -209,11 +242,26 @@ func (s *Shared) RunContext(ctx context.Context, limit, n int, fn func(i int)) {
 	}
 	if limit <= 1 {
 		s.inline.Add(1)
+		traced := obs.TracerFrom(ctx) != nil
+		pm := s.obs
+		// Chain the clock reads: each job's end reading doubles as the
+		// next job's start, so timing n inline jobs costs n+1 reads
+		// instead of 2n — the difference is measurable where the wall
+		// clock has no fast path.
+		var prev time.Time
+		if pm != nil {
+			prev = pm.Clock.Now()
+		}
 		for i := 0; i < n; i++ {
 			if ctx != nil && ctx.Err() != nil {
 				return
 			}
-			fn(i)
+			s.runInline(ctx, traced, i, fn)
+			if pm != nil {
+				now := pm.Clock.Now()
+				pm.Run.Observe(now.Sub(prev))
+				prev = now
+			}
 		}
 		return
 	}
@@ -230,10 +278,18 @@ func (s *Shared) RunContext(ctx context.Context, limit, n int, fn func(i int)) {
 		// jobs deadlocks. Fall back to a per-call pool, the pre-Shared
 		// behaviour for nested fan-out.
 		s.inline.Add(1)
-		RunContext(ctx, limit, n, fn)
+		RunContext(ctx, limit, n, func(i int) { fn(ctx, i) })
 		return
 	}
 	sub := &submission{ctx: ctx, fn: fn, n: n, limit: limit, done: make(chan struct{})}
+	if sub.traced = obs.TracerFrom(ctx) != nil; sub.traced {
+		var sp obs.Span
+		sub.ctx, sp = obs.StartSpan(ctx, "pool.submit")
+		defer sp.End()
+	}
+	if s.obs != nil {
+		sub.enqueued = s.obs.Clock.Now()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -249,6 +305,19 @@ func (s *Shared) RunContext(ctx context.Context, limit, n int, fn func(i int)) {
 	if sub.panicked {
 		panic(sub.panicVal)
 	}
+}
+
+// runInline executes one job of an inline (limit <= 1) submission on
+// the calling goroutine, with the same pool.job span a worker would
+// apply. Run-time recording lives in the caller's loop (chained clock
+// reads); queue wait is not recorded: inline jobs never enter the ring.
+func (s *Shared) runInline(ctx context.Context, traced bool, i int, fn func(context.Context, int)) {
+	if traced {
+		var sp obs.Span
+		ctx, sp = obs.StartSpanArg(ctx, "pool.job", int64(i))
+		defer sp.End()
+	}
+	fn(ctx, i)
 }
 
 // worker is the loop every pool goroutine runs: take one (submission,
@@ -339,7 +408,22 @@ func (s *Shared) exec(sub *submission, idx int) {
 	if sub.ctx != nil && sub.ctx.Err() != nil {
 		return
 	}
-	sub.fn(idx)
+	jctx := sub.ctx
+	if sub.traced {
+		var sp obs.Span
+		jctx, sp = obs.StartSpanArg(jctx, "pool.job", int64(idx))
+		defer sp.End()
+	}
+	if pm := s.obs; pm != nil {
+		start := pm.Clock.Now()
+		pm.QueueWait.Observe(start.Sub(sub.enqueued))
+		sub.fn(jctx, idx)
+		// A panicking job skips run-time recording; the panic is the
+		// signal that matters there.
+		pm.Run.Observe(pm.Clock.Now().Sub(start))
+		return
+	}
+	sub.fn(jctx, idx)
 }
 
 // Do evaluates fn(i) for every i in [0, n): on the shared pool p when

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"profirt"
@@ -27,8 +28,19 @@ type ServerStats struct {
 	// RejectedOverLimit counts 429s from the per-client in-flight cap.
 	RejectedOverLimit int64 `json:"rejectedOverLimit"`
 	// ActiveClients is the number of clients with at least one
-	// admitted in-flight request (0 when the cap is disabled).
+	// admitted in-flight request, whether or not a cap is configured.
 	ActiveClients int `json:"activeClients"`
+	// Endpoints holds per-route request-duration histograms in
+	// registration order.
+	Endpoints []EndpointLatency `json:"endpoints"`
+}
+
+// EndpointLatency is one route's request-duration histogram. The
+// duration covers the whole wrapped handler: admission, decode, the
+// Engine call and response encoding.
+type EndpointLatency struct {
+	Endpoint string                  `json:"endpoint"`
+	Latency  profirt.LatencySnapshot `json:"latency"`
 }
 
 // Metrics snapshots the server and its Engine.
@@ -36,6 +48,10 @@ func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	clients := len(s.perClient)
 	s.mu.Unlock()
+	eps := make([]EndpointLatency, len(s.endpoints))
+	for i, em := range s.endpoints {
+		eps[i] = EndpointLatency{Endpoint: em.path, Latency: em.hist.Snapshot()}
+	}
 	return Metrics{
 		Engine: s.eng.Stats(),
 		Server: ServerStats{
@@ -43,6 +59,7 @@ func (s *Server) Metrics() Metrics {
 			RequestsTotal:     s.requests.Load(),
 			RejectedOverLimit: s.rejected.Load(),
 			ActiveClients:     clients,
+			Endpoints:         eps,
 		},
 	}
 }
@@ -128,4 +145,69 @@ func WritePrometheus(w io.Writer, m Metrics) {
 	counter("profiserve_server_requests_total", m.Server.RequestsTotal, "Requests routed to the v1 endpoints.")
 	counter("profiserve_server_rejected_over_limit_total", m.Server.RejectedOverLimit, "Requests rejected by the per-client in-flight cap.")
 	gauge("profiserve_server_active_clients", m.Server.ActiveClients, "Clients with admitted in-flight requests.")
+
+	lat := m.Engine.Latency
+	gauge("profiserve_engine_latency_enabled", b01(lat.Enabled), "1 while the Engine records latency histograms.")
+	opSeries := make([]histSeries, len(lat.Ops))
+	for i, o := range lat.Ops {
+		opSeries[i] = histSeries{label: fmt.Sprintf("op=%q", o.Op), snap: o.Latency}
+	}
+	writeHistogram(w, "profiserve_engine_op_duration_seconds", "Engine method call duration by op.", opSeries)
+	writeHistogram(w, "profiserve_pool_queue_wait_seconds", "Time pool jobs spent queued before a worker picked them up.",
+		[]histSeries{{snap: lat.PoolQueueWait}})
+	writeHistogram(w, "profiserve_pool_job_duration_seconds", "Pool job execution time on a worker.",
+		[]histSeries{{snap: lat.PoolRun}})
+	writeHistogram(w, "profiserve_cache_lookup_duration_seconds", "Analysis cache lookup latency.",
+		[]histSeries{{snap: lat.CacheLookup}})
+	writeHistogram(w, "profiserve_store_lookup_duration_seconds", "Result store lookup latency.",
+		[]histSeries{{snap: lat.StoreLookup}})
+	epSeries := make([]histSeries, len(m.Server.Endpoints))
+	for i, ep := range m.Server.Endpoints {
+		epSeries[i] = histSeries{label: fmt.Sprintf("endpoint=%q", ep.Endpoint), snap: ep.Latency}
+	}
+	writeHistogram(w, "profiserve_http_request_duration_seconds", "HTTP request duration by endpoint, wrapped handler end to end.", epSeries)
+}
+
+// histSeries is one labeled series of a histogram family. An empty
+// label renders an unlabeled series.
+type histSeries struct {
+	label string // e.g. `op="simulate"`
+	snap  profirt.LatencySnapshot
+}
+
+// writeHistogram renders one Prometheus histogram family: cumulative
+// _bucket series with le bounds in seconds, then _sum and _count per
+// series. The snapshot's Count is derived from its buckets, so
+// le="+Inf" always equals _count — Prometheus's consistency rule —
+// even for snapshots taken mid-traffic.
+func writeHistogram(w io.Writer, name, help string, series []histSeries) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	bounds := profirt.LatencyBucketBounds()
+	for _, sr := range series {
+		sep := ""
+		if sr.label != "" {
+			sep = sr.label + ","
+		}
+		var cum uint64
+		for i, b := range bounds {
+			if i < len(sr.snap.Counts) {
+				cum += sr.snap.Counts[i]
+			}
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, sep, formatSeconds(b.Seconds()), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, sr.snap.Count)
+		if sr.label != "" {
+			fmt.Fprintf(w, "%s_sum{%s} %s\n", name, sr.label, formatSeconds(float64(sr.snap.SumNs)/1e9))
+			fmt.Fprintf(w, "%s_count{%s} %d\n", name, sr.label, sr.snap.Count)
+		} else {
+			fmt.Fprintf(w, "%s_sum %s\n", name, formatSeconds(float64(sr.snap.SumNs)/1e9))
+			fmt.Fprintf(w, "%s_count %d\n", name, sr.snap.Count)
+		}
+	}
+}
+
+// formatSeconds renders a seconds value the way Prometheus clients
+// expect: shortest float form, e.g. "1e-06" or "0.004194304".
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }

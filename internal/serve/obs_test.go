@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"profirt"
+	"profirt/internal/configfile"
+)
+
+// stepClock is a deterministic clock: every Now() advances it by one
+// step. Injected through Options.Clock so endpoint histograms record
+// known durations.
+type stepClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+// doJSON drives one request through the Server's handler directly, so
+// every deferred endpoint step (histogram, access log, trace export)
+// has finished by the time it returns.
+func doJSON(t *testing.T, s *Server, path string, v any, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	for k, val := range hdr {
+		req.Header.Set(k, val)
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+func newObsServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	eng := profirt.NewEngine(
+		profirt.WithParallelism(2),
+		profirt.WithCache(profirt.NewAnalysisCache(0)),
+	)
+	t.Cleanup(func() { eng.Close() })
+	return New(eng, opts)
+}
+
+func analyzeBody() AnalyzeNetworksRequest {
+	return AnalyzeNetworksRequest{Networks: []configfile.File{netFile(1), netFile(2)}}
+}
+
+// TestEndpointHistogramAndRequestID: the wrapped endpoint observes one
+// sample per request on its own histogram (durations from the
+// injected clock), generates request ids when the client sends none
+// and echoes client-supplied ones.
+func TestEndpointHistogramAndRequestID(t *testing.T) {
+	clock := &stepClock{step: time.Millisecond}
+	s := newObsServer(t, Options{Clock: clock})
+
+	w := doJSON(t, s, "/v1/analyze/networks", analyzeBody(), nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Request-ID"); got != "req-00000001" {
+		t.Fatalf("generated request id = %q, want req-00000001", got)
+	}
+
+	w = doJSON(t, s, "/v1/analyze/networks", analyzeBody(), map[string]string{"X-Request-ID": "client-7"})
+	if got := w.Header().Get("X-Request-ID"); got != "client-7" {
+		t.Fatalf("echoed request id = %q, want client-7", got)
+	}
+
+	var lat profirt.LatencySnapshot
+	var found bool
+	for _, ep := range s.Metrics().Server.Endpoints {
+		if ep.Endpoint == "/v1/analyze/networks" {
+			lat, found = ep.Latency, true
+		}
+	}
+	if !found {
+		t.Fatal("no endpoint latency entry for /v1/analyze/networks")
+	}
+	if lat.Count != 2 {
+		t.Fatalf("endpoint histogram count = %d, want 2", lat.Count)
+	}
+	if lat.SumNs <= 0 {
+		t.Fatalf("endpoint histogram sum = %d, want > 0", lat.SumNs)
+	}
+	// Even a rejected method lands in the histogram: the wrapper times
+	// the whole handler, error paths included.
+	req := httptest.NewRequest(http.MethodGet, "/v1/analyze/networks", nil)
+	rw := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rw, req)
+	if rw.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", rw.Code)
+	}
+	for _, ep := range s.Metrics().Server.Endpoints {
+		if ep.Endpoint == "/v1/analyze/networks" && ep.Latency.Count != 3 {
+			t.Fatalf("endpoint histogram count after GET = %d, want 3", ep.Latency.Count)
+		}
+	}
+}
+
+// TestAccessLog: with a Logger configured, each request emits one
+// structured record carrying the request id, path, status, bytes and
+// duration.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	s := newObsServer(t, Options{Logger: logger})
+
+	doJSON(t, s, "/v1/analyze/networks", analyzeBody(), map[string]string{"X-Request-ID": "log-1"})
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("access log is not one JSON record: %v (%q)", err, buf.String())
+	}
+	if rec["id"] != "log-1" || rec["path"] != "/v1/analyze/networks" || rec["method"] != "POST" {
+		t.Fatalf("access log fields wrong: %v", rec)
+	}
+	if rec["status"] != float64(http.StatusOK) {
+		t.Fatalf("access log status = %v, want 200", rec["status"])
+	}
+	if b, ok := rec["bytes"].(float64); !ok || b <= 0 {
+		t.Fatalf("access log bytes = %v, want > 0", rec["bytes"])
+	}
+}
+
+// TestTraceFileWritten: with TraceDir set, a request produces one
+// Chrome trace_event JSON file whose spans nest the request root over
+// the engine op, and whose name embeds the sanitized request id.
+func TestTraceFileWritten(t *testing.T) {
+	dir := t.TempDir()
+	s := newObsServer(t, Options{TraceDir: dir})
+
+	w := doJSON(t, s, "/v1/analyze/networks", analyzeBody(), map[string]string{"X-Request-ID": "cli/..x"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("trace files = %d, want 1", len(ents))
+	}
+	name := ents[0].Name()
+	if !strings.HasPrefix(name, "cli-..x-") || !strings.HasSuffix(name, ".trace.json") {
+		t.Fatalf("trace file name %q: want sanitized id prefix and .trace.json suffix", name)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	var haveRoot, haveEngine bool
+	for _, ev := range trace.TraceEvents {
+		switch ev.Name {
+		case "request /v1/analyze/networks":
+			haveRoot = true
+		case "engine.analyze_networks":
+			haveEngine = true
+		}
+	}
+	if !haveRoot || !haveEngine {
+		t.Fatalf("trace missing spans: root=%v engine=%v", haveRoot, haveEngine)
+	}
+	if trace.OtherData["traceId"] != "cli/..x" {
+		t.Fatalf("trace id = %q, want the request id", trace.OtherData["traceId"])
+	}
+}
+
+// TestActiveClientsDrainsToZero is the regression test for the old
+// admit() shortcut: with no per-client cap configured it admitted
+// without registering, so ActiveClients read 0 even under load and
+// the per-client table was meaningless. Registration is now
+// unconditional: the gauge rises while requests are in flight and
+// drains back to exactly zero.
+func TestActiveClientsDrainsToZero(t *testing.T) {
+	s := newObsServer(t, Options{}) // cap disabled: the buggy path
+
+	// The unit-level property first, deterministically: admitting with
+	// no cap registers the client.
+	if !s.admit("probe") {
+		t.Fatal("admit refused with cap disabled")
+	}
+	if got := s.Metrics().Server.ActiveClients; got != 1 {
+		t.Fatalf("ActiveClients while admitted = %d, want 1", got)
+	}
+	s.release("probe")
+	if got := s.Metrics().Server.ActiveClients; got != 0 {
+		t.Fatalf("ActiveClients after release = %d, want 0", got)
+	}
+
+	// Then end to end: a burst of concurrent requests from distinct
+	// clients must leave the gauge at zero once every handler returns.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			doJSON(t, s, "/v1/analyze/networks", analyzeBody(),
+				map[string]string{"X-Client-ID": fmt.Sprintf("c%d", i)})
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Metrics().Server.ActiveClients; got != 0 {
+		t.Fatalf("ActiveClients after drain = %d, want 0", got)
+	}
+	if got := s.Metrics().Server.ActiveRequests; got != 0 {
+		t.Fatalf("ActiveRequests after drain = %d, want 0", got)
+	}
+}
+
+// TestPrometheusExposition is the exposition-format validator: after
+// real traffic, the /metrics text must declare HELP and TYPE before
+// each family's samples, contain no duplicate series, keep histogram
+// buckets cumulative (monotone nondecreasing), and close every
+// histogram with le="+Inf" equal to its _count.
+func TestPrometheusExposition(t *testing.T) {
+	s := newObsServer(t, Options{})
+	doJSON(t, s, "/v1/analyze/networks", analyzeBody(), nil)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", w.Code)
+	}
+	text := w.Body.String()
+
+	type family struct {
+		help, typ bool
+		sampled   bool
+	}
+	families := map[string]*family{}
+	fam := func(name string) *family {
+		f := families[name]
+		if f == nil {
+			f = &family{}
+			families[name] = f
+		}
+		return f
+	}
+	// baseName strips the histogram sample suffixes so _bucket/_sum/
+	// _count attach to their declared family.
+	baseName := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if f, ok := families[base]; ok && f.typ {
+					return base
+				}
+			}
+		}
+		return name
+	}
+
+	seen := map[string]bool{} // full series (name + labels), for the dup check
+	type histState struct {
+		last    uint64
+		infSeen bool
+		inf     uint64
+	}
+	hists := map[string]*histState{} // per _bucket series sans le
+	counts := map[string]uint64{}    // _count value per series sans suffix
+
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("HELP without text: %q", line)
+			}
+			fam(parts[0]).help = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line[len("# TYPE "):])
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			f := fam(parts[0])
+			if f.sampled {
+				t.Fatalf("TYPE for %s after its samples", parts[0])
+			}
+			f.typ = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		// Sample line: name{labels} value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample: %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(valStr, 64); err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		if seen[series] {
+			t.Fatalf("duplicate series %q", series)
+		}
+		seen[series] = true
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unbalanced labels in %q", series)
+			}
+		}
+		base := baseName(name)
+		f := fam(base)
+		if !f.help || !f.typ {
+			t.Fatalf("series %q sampled before HELP+TYPE of %q", series, base)
+		}
+		f.sampled = true
+
+		if strings.HasSuffix(name, "_bucket") && base != name {
+			// Strip the le label to key the cumulative check.
+			li := strings.Index(series, `le="`)
+			if li < 0 {
+				t.Fatalf("bucket without le label: %q", series)
+			}
+			le := series[li+len(`le="`):]
+			le = le[:strings.IndexByte(le, '"')]
+			// Normalize to the series name without the le label, matching
+			// how the _count series renders: name for unlabeled series,
+			// name{other="labels"} otherwise.
+			prefix := strings.TrimSuffix(series[:li], ",")
+			key := prefix + "}"
+			if strings.HasSuffix(prefix, "{") {
+				key = strings.TrimSuffix(prefix, "{")
+			}
+			h := hists[key]
+			if h == nil {
+				h = &histState{}
+				hists[key] = h
+			}
+			v, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if v < h.last {
+				t.Fatalf("bucket counts not cumulative at %q: %d < %d", series, v, h.last)
+			}
+			h.last = v
+			if le == "+Inf" {
+				h.infSeen = true
+				h.inf = v
+			} else if h.infSeen {
+				t.Fatalf("finite bucket after le=\"+Inf\" in %q", series)
+			}
+		}
+		if strings.HasSuffix(name, "_count") && base != name {
+			v, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("count value in %q: %v", line, err)
+			}
+			counts[strings.Replace(series, "_count", "_bucket", 1)] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for key, h := range hists {
+		if !h.infSeen {
+			t.Fatalf("histogram %q has no le=\"+Inf\" bucket", key)
+		}
+		want, ok := counts[key]
+		if !ok {
+			t.Fatalf("histogram %q has buckets but no _count", key)
+		}
+		if h.inf != want {
+			t.Fatalf("histogram %q: le=\"+Inf\" = %d but _count = %d", key, h.inf, want)
+		}
+	}
+
+	// The traffic we drove must be visible: nonzero engine-op and
+	// per-endpoint histogram counts.
+	for _, needle := range []string{
+		`profiserve_engine_op_duration_seconds_count{op="analyze_networks"} 1`,
+		`profiserve_http_request_duration_seconds_count{endpoint="/v1/analyze/networks"} 1`,
+	} {
+		if !strings.Contains(text, needle) {
+			t.Fatalf("exposition missing %q", needle)
+		}
+	}
+}

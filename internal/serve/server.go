@@ -27,13 +27,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"profirt"
+	"profirt/internal/obs"
 )
 
 // Options tunes a Server.
@@ -44,10 +49,29 @@ type Options struct {
 	// MaxBodyBytes caps request bodies (413 beyond it). 0 selects the
 	// default, 8 MiB.
 	MaxBodyBytes int64
+	// Logger, when non-nil, receives one structured access-log record
+	// per v1 request (request id, method, path, client, status, bytes,
+	// duration) plus trace-export failures.
+	Logger *slog.Logger
+	// TraceDir, when non-empty, enables per-request span tracing:
+	// every v1 request runs under an obs.Tracer and its spans are
+	// written to TraceDir as one Chrome trace_event JSON file per
+	// request. The directory must exist. Tracing is observational
+	// only: responses are byte-identical with and without it.
+	TraceDir string
+	// Clock substitutes a fake wall clock for tests; nil selects
+	// obs.Wall.
+	Clock obs.Clock
 }
 
 // defaultMaxBodyBytes bounds request bodies when Options does not.
 const defaultMaxBodyBytes = 8 << 20
+
+// endpointMetric is one v1 route's request-duration histogram.
+type endpointMetric struct {
+	path string
+	hist obs.Histogram
+}
 
 // Server serves one Engine. Construct with New; safe for concurrent
 // use by any number of connections.
@@ -55,6 +79,13 @@ type Server struct {
 	eng  *profirt.Engine
 	opts Options
 	mux  *http.ServeMux
+
+	clock obs.Clock
+	// endpoints holds the per-route latency histograms in registration
+	// order, so /metrics renders them in a fixed order.
+	endpoints []*endpointMetric
+	reqSeq    atomic.Uint64 // generated X-Request-ID counter
+	traceSeq  atomic.Uint64 // trace file name disambiguator
 
 	mu        sync.Mutex
 	perClient map[string]int
@@ -70,16 +101,26 @@ func New(eng *profirt.Engine, opts Options) *Server {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = defaultMaxBodyBytes
 	}
-	s := &Server{eng: eng, opts: opts, perClient: make(map[string]int)}
+	if opts.Clock == nil {
+		opts.Clock = obs.Wall
+	}
+	s := &Server{eng: eng, opts: opts, clock: opts.Clock, perClient: make(map[string]int)}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/v1/analyze/networks", s.endpoint(s.analyzeNetworks))
-	s.mux.HandleFunc("/v1/analyze/topologies", s.endpoint(s.analyzeTopologies))
-	s.mux.HandleFunc("/v1/simulate/batch", s.endpoint(s.simulateBatch))
-	s.mux.HandleFunc("/v1/simulate/topology", s.endpoint(s.simulateTopology))
-	s.mux.HandleFunc("/v1/campaign", s.endpoint(s.campaign))
+	s.route("/v1/analyze/networks", s.analyzeNetworks)
+	s.route("/v1/analyze/topologies", s.analyzeTopologies)
+	s.route("/v1/simulate/batch", s.simulateBatch)
+	s.route("/v1/simulate/topology", s.simulateTopology)
+	s.route("/v1/campaign", s.campaign)
 	s.mux.HandleFunc("/metrics", s.metrics)
 	s.mux.HandleFunc("/healthz", s.healthz)
 	return s
+}
+
+// route registers one v1 endpoint with its latency histogram.
+func (s *Server) route(path string, h func(http.ResponseWriter, *http.Request) error) {
+	em := &endpointMetric{path: path}
+	s.endpoints = append(s.endpoints, em)
+	s.mux.HandleFunc(path, s.endpoint(em, h))
 }
 
 // Handler returns the Server's routing handler, ready for
@@ -144,24 +185,23 @@ func clientKey(r *http.Request) string {
 
 // admit registers one in-flight request for key; false means the
 // client is at its cap and the request must be turned away.
+// Registration is unconditional — the cap only gates admission when
+// positive — so the ActiveClients gauge is meaningful (and drains
+// back to zero) whether or not a cap is configured.
 func (s *Server) admit(key string) bool {
-	if s.opts.MaxInFlightPerClient <= 0 {
-		return true
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.perClient[key] >= s.opts.MaxInFlightPerClient {
+	if cap := s.opts.MaxInFlightPerClient; cap > 0 && s.perClient[key] >= cap {
 		return false
 	}
 	s.perClient[key]++
 	return true
 }
 
-// release settles an admitted request.
+// release settles an admitted request. Must mirror admit exactly:
+// every true admit gets one release under the same lock, so the
+// per-client table never leaks entries after the last request drains.
 func (s *Server) release(key string) {
-	if s.opts.MaxInFlightPerClient <= 0 {
-		return
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.perClient[key] <= 1 {
@@ -171,33 +211,149 @@ func (s *Server) release(key string) {
 	}
 }
 
+// responseRecorder captures the status and body size flowing to the
+// client, for the access log and the endpoint histograms. It passes
+// Flush through so the campaign endpoint's NDJSON streaming keeps
+// working behind it.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (rec *responseRecorder) WriteHeader(code int) {
+	if rec.status == 0 {
+		rec.status = code
+	}
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+func (rec *responseRecorder) Write(p []byte) (int, error) {
+	if rec.status == 0 {
+		rec.status = http.StatusOK
+	}
+	n, err := rec.ResponseWriter.Write(p)
+	rec.bytes += int64(n)
+	return n, err
+}
+
+func (rec *responseRecorder) Flush() {
+	if f, ok := rec.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// statusCode reports the logged status: 200 when the handler finished
+// without ever writing (net/http's implicit default).
+func (rec *responseRecorder) statusCode() int {
+	if rec.status == 0 {
+		return http.StatusOK
+	}
+	return rec.status
+}
+
+// requestID returns the request's trace/correlation id: the caller's
+// X-Request-ID when present (truncated to 128 bytes), else a counter-
+// generated one. Counter, not random: ids only need to be unique per
+// process, and the repo bans nondeterministic sources outside tests.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		return id
+	}
+	return fmt.Sprintf("req-%08d", s.reqSeq.Add(1))
+}
+
 // endpoint wraps one POST handler with the shared plumbing: method
-// check, per-client admission, body bound, request counters and error
-// mapping. The inner handler owns the success path (it writes the
-// response itself) and returns an error for every failure.
-func (s *Server) endpoint(h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+// check, per-client admission, body bound, request counters, the
+// endpoint latency histogram, request-id propagation, optional span
+// tracing and the access log, plus error mapping. The inner handler
+// owns the success path (it writes the response itself) and returns an
+// error for every failure.
+func (s *Server) endpoint(em *endpointMetric, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		start := s.clock.Now()
+		rid := s.requestID(r)
+		w.Header().Set("X-Request-ID", rid)
+		rec := &responseRecorder{ResponseWriter: w}
+		defer func() {
+			d := s.clock.Now().Sub(start)
+			em.hist.Observe(d)
+			if l := s.opts.Logger; l != nil {
+				l.LogAttrs(r.Context(), slog.LevelInfo, "request",
+					slog.String("id", rid),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.String("client", clientKey(r)),
+					slog.Int("status", rec.statusCode()),
+					slog.Int64("bytes", rec.bytes),
+					slog.Duration("dur", d))
+			}
+		}()
 		if r.Method != http.MethodPost {
-			w.Header().Set("Allow", http.MethodPost)
-			writeError(w, failf(http.StatusMethodNotAllowed, "use POST"))
+			rec.Header().Set("Allow", http.MethodPost)
+			writeError(rec, failf(http.StatusMethodNotAllowed, "use POST"))
 			return
 		}
 		key := clientKey(r)
 		if !s.admit(key) {
 			s.rejected.Add(1)
-			writeError(w, failf(http.StatusTooManyRequests,
+			writeError(rec, failf(http.StatusTooManyRequests,
 				"client %q is at its in-flight cap (%d)", key, s.opts.MaxInFlightPerClient))
 			return
 		}
 		defer s.release(key)
 		s.active.Add(1)
 		defer s.active.Add(-1)
-		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-		if err := h(w, r); err != nil {
-			writeError(w, err)
+		if s.opts.TraceDir != "" {
+			tr := obs.NewTracer(rid, s.clock)
+			ctx := obs.WithTracer(r.Context(), tr)
+			ctx, root := obs.StartSpan(ctx, "request "+r.URL.Path)
+			r = r.WithContext(ctx)
+			defer func() {
+				root.End()
+				s.writeTrace(tr, rid)
+			}()
+		}
+		r.Body = http.MaxBytesReader(rec, r.Body, s.opts.MaxBodyBytes)
+		if err := h(rec, r); err != nil {
+			writeError(rec, err)
 		}
 	}
+}
+
+// writeTrace exports one request's spans to TraceDir as Chrome
+// trace_event JSON. Export failures are logged, never surfaced to the
+// client: tracing must not change responses.
+func (s *Server) writeTrace(tr *obs.Tracer, rid string) {
+	name := fmt.Sprintf("%s-%06d.trace.json", sanitizeID(rid), s.traceSeq.Add(1))
+	f, err := os.Create(filepath.Join(s.opts.TraceDir, name))
+	if err == nil {
+		_, err = tr.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil && s.opts.Logger != nil {
+		s.opts.Logger.Warn("trace export failed", "id", rid, "err", err)
+	}
+}
+
+// sanitizeID maps a client-supplied request id to a safe file name
+// fragment: anything outside [A-Za-z0-9._-] becomes '-'.
+func sanitizeID(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, id)
 }
 
 // decode unmarshals the request body into v with unknown fields

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"io"
 
+	"profirt/internal/obs"
 	"profirt/internal/pool"
 	"profirt/internal/profibus"
 	"profirt/internal/timeunit"
@@ -239,12 +240,17 @@ func Simulate(t SimTopology, opts SimOptions) (SimResult, error) {
 			}
 			originByTarget[ri] = m
 		}
-		pool.Do(ctx, opts.Pool, opts.Parallelism, n, func(i int) {
+		// A traced simulation wraps each fixed-point round in a
+		// topology.round span (arg = 1-based round number), so trace
+		// exports show where the bridge exchange spent its time.
+		rctx, rspan := obs.StartSpanArg(ctx, "topology.round", int64(rounds))
+		pool.Do(rctx, opts.Pool, opts.Parallelism, n, func(i int) {
 			if !dirty[i] || (ctx != nil && ctx.Err() != nil) {
 				return
 			}
 			results[i], errs[i] = profibus.Simulate(cfgs[i])
 		})
+		rspan.End()
 		// A cancellation mid-round leaves some segments unsimulated;
 		// their result slots are stale, so bail before deriving
 		// injections from them.
